@@ -1,0 +1,154 @@
+// Benchmarks regenerating each of the paper's tables and figures, one
+// bench per artifact (run with `go test -bench=. -benchmem`). Each
+// bench executes a reduced-scale version of the corresponding
+// experiment from internal/experiments — the full-scale numbers
+// recorded in EXPERIMENTS.md come from cmd/experiments.
+//
+// Custom metrics attached to the speedup benches report the simulated
+// outcome (cycles, speedup vs baseline) so the benchmark output itself
+// carries the reproduction's headline numbers, not just wall time.
+package main
+
+import (
+	"testing"
+
+	"tssim/internal/experiments"
+	"tssim/internal/sim"
+	"tssim/internal/workload"
+)
+
+func benchParams() experiments.Params {
+	return experiments.Params{CPUs: 4, Scale: 1, Seeds: 1}
+}
+
+// runPair runs one workload under the baseline and one technique,
+// reporting the speedup as a custom metric.
+func runPair(b *testing.B, name string, tech sim.Techniques) {
+	b.Helper()
+	w, err := workload.ByName(name, workload.Params{CPUs: 4, Scale: 1, UnsafeISyncEvery: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var base, measured uint64
+	for i := 0; i < b.N; i++ {
+		cfg := sim.ExperimentConfig()
+		r0 := sim.RunOne(cfg, w)
+		cfg.Tech = tech
+		r1 := sim.RunOne(cfg, w)
+		base, measured = r0.Cycles, r1.Cycles
+	}
+	b.ReportMetric(float64(base), "baseline-cycles")
+	b.ReportMetric(float64(measured), "technique-cycles")
+	b.ReportMetric(float64(base)/float64(measured), "speedup")
+}
+
+// --- Table 2: workload characteristics ---
+
+func BenchmarkTable2_Characteristics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Table2(benchParams())
+	}
+}
+
+// --- Figure 6: stale-storage capacity study ---
+
+func BenchmarkFig6_StaleStorage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Fig6(benchParams())
+	}
+}
+
+// --- Figure 7: per-workload, per-technique speedups ---
+
+func BenchmarkFig7_Ocean_EMESTI(b *testing.B) {
+	runPair(b, "ocean", sim.Techniques{MESTI: true, EMESTI: true})
+}
+
+func BenchmarkFig7_Radiosity_SLE(b *testing.B) {
+	runPair(b, "radiosity", sim.Techniques{SLE: true})
+}
+
+func BenchmarkFig7_Raytrace_EMESTI_SLE(b *testing.B) {
+	runPair(b, "raytrace", sim.Techniques{MESTI: true, EMESTI: true, SLE: true})
+}
+
+func BenchmarkFig7_SpecJBB_MESTI(b *testing.B) {
+	runPair(b, "specjbb", sim.Techniques{MESTI: true})
+}
+
+func BenchmarkFig7_SpecWeb_LVP(b *testing.B) {
+	runPair(b, "specweb", sim.Techniques{LVP: true})
+}
+
+func BenchmarkFig7_TPCB_EMESTI(b *testing.B) {
+	runPair(b, "tpc-b", sim.Techniques{MESTI: true, EMESTI: true})
+}
+
+func BenchmarkFig7_TPCH_LVP(b *testing.B) {
+	runPair(b, "tpc-h", sim.Techniques{LVP: true})
+}
+
+func BenchmarkFig7_TPCB_AllCombined(b *testing.B) {
+	runPair(b, "tpc-b", sim.Techniques{MESTI: true, EMESTI: true, LVP: true, SLE: true})
+}
+
+// --- Figure 8: address-transaction breakdown ---
+
+func BenchmarkFig8_AddressTransactions(b *testing.B) {
+	w, err := workload.ByName("tpc-b", workload.Params{CPUs: 4, Scale: 1, UnsafeISyncEvery: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var validates, total uint64
+	for i := 0; i < b.N; i++ {
+		cfg := sim.ExperimentConfig()
+		cfg.Tech = sim.Techniques{MESTI: true}
+		r := sim.RunOne(cfg, w)
+		validates = r.Counters["bus/txn/validate"]
+		total = r.Counters["bus/txn/read"] + r.Counters["bus/txn/readx"] +
+			r.Counters["bus/txn/upgrade"] + validates
+	}
+	b.ReportMetric(float64(validates), "validates")
+	b.ReportMetric(float64(total), "addr-txns")
+}
+
+// --- §4.2.3: SLE statistics ---
+
+func BenchmarkSLE_Statistics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.SLEStats(benchParams())
+	}
+}
+
+// --- §2.4: validate-predictor ablation ---
+
+func BenchmarkPredictor_Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.PredictorAblation(benchParams())
+	}
+}
+
+// --- §5.3.2: miss classification ---
+
+func BenchmarkMiss_Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.MissBreakdown(benchParams())
+	}
+}
+
+// --- Raw simulator throughput (not a paper artifact; sizing aid) ---
+
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	w, err := workload.ByName("raytrace", workload.Params{CPUs: 4, Scale: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cycles, retired uint64
+	for i := 0; i < b.N; i++ {
+		cfg := sim.ExperimentConfig()
+		r := sim.RunOne(cfg, w)
+		cycles, retired = r.Cycles, r.Retired
+	}
+	b.ReportMetric(float64(cycles), "sim-cycles")
+	b.ReportMetric(float64(retired), "sim-instrs")
+}

@@ -1,0 +1,94 @@
+// Command experiments regenerates the paper's tables and figures on
+// the simulated machine. Each flag selects one artifact; -all runs the
+// full evaluation (slow). See EXPERIMENTS.md for recorded outputs and
+// the comparison against the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tssim/internal/experiments"
+	"tssim/internal/sim"
+)
+
+func main() {
+	var (
+		table1   = flag.Bool("table1", false, "print machine parameters (paper Table 1)")
+		table2   = flag.Bool("table2", false, "workload characteristics (paper Table 2)")
+		fig6     = flag.Bool("fig6", false, "stale-storage capacity study (paper Figure 6)")
+		fig7     = flag.Bool("fig7", false, "performance comparison (paper Figure 7)")
+		fig8     = flag.Bool("fig8", false, "address transactions (paper Figure 8)")
+		slestats = flag.Bool("slestats", false, "SLE attempt/failure statistics (paper §4.2.3)")
+		ablation = flag.Bool("ablation", false, "validate-predictor tuning sweep (paper §2.4)")
+		misses   = flag.Bool("misses", false, "miss classification and false-sharing fractions (§5.3.2)")
+		all      = flag.Bool("all", false, "run everything")
+		dump     = flag.String("dump", "", "dump all counters for one workload (use with -tech)")
+		techStr  = flag.String("tech", "baseline", "technique for -dump: baseline|mesti|emesti|lvp|sle|all")
+		cpus     = flag.Int("cpus", 4, "number of CPUs")
+		scale    = flag.Int("scale", 2, "workload scale factor")
+		seeds    = flag.Int("seeds", 3, "runs per configuration (CI)")
+	)
+	flag.Parse()
+	p := experiments.Params{CPUs: *cpus, Scale: *scale, Seeds: *seeds}
+
+	ran := false
+	if *table1 || *all {
+		fmt.Println("== Table 1: simulated machine parameters ==")
+		fmt.Println(experiments.Table1())
+		ran = true
+	}
+	if *table2 || *all {
+		fmt.Println("== Table 2: workload characteristics ==")
+		fmt.Println(experiments.Table2(p))
+		ran = true
+	}
+	if *fig6 || *all {
+		fmt.Println("== Figure 6: communication misses vs stale-storage capacity ==")
+		fmt.Println(experiments.Fig6(p))
+		ran = true
+	}
+	if *fig7 || *all {
+		fmt.Println("== Figure 7: performance (speedup over baseline) ==")
+		out, _ := experiments.Fig7(p)
+		fmt.Println(out)
+		ran = true
+	}
+	if *fig8 || *all {
+		fmt.Println("== Figure 8: address transactions ==")
+		fmt.Println(experiments.Fig8(p))
+		ran = true
+	}
+	if *slestats || *all {
+		fmt.Println("== SLE statistics (§4.2.3) ==")
+		fmt.Println(experiments.SLEStats(p))
+		ran = true
+	}
+	if *ablation || *all {
+		fmt.Println("== Validate-predictor ablation (§2.4, tpc-b) ==")
+		fmt.Println(experiments.PredictorAblation(p))
+		ran = true
+	}
+	if *misses || *all {
+		fmt.Println("== Miss classification (§5.3.2) ==")
+		fmt.Println(experiments.MissBreakdown(p))
+		ran = true
+	}
+	if *dump != "" {
+		tech := map[string]sim.Techniques{
+			"baseline": {},
+			"mesti":    {MESTI: true},
+			"emesti":   {MESTI: true, EMESTI: true},
+			"lvp":      {LVP: true},
+			"sle":      {SLE: true},
+			"all":      {MESTI: true, EMESTI: true, LVP: true, SLE: true},
+		}[*techStr]
+		fmt.Println(experiments.CountersDump(p, *dump, tech))
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

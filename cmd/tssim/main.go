@@ -1,0 +1,96 @@
+// Command tssim runs one workload on the simulated multiprocessor
+// under a chosen technique combination and prints the result summary
+// and counters. It is the quick single-run CLI; cmd/experiments
+// regenerates the paper's full tables and figures.
+//
+//	tssim -workload tpc-b -tech emesti+lvp -scale 2 -verbose
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"tssim/internal/sim"
+	"tssim/internal/workload"
+)
+
+func parseTech(s string) (sim.Techniques, error) {
+	var t sim.Techniques
+	if s == "" || s == "baseline" {
+		return t, nil
+	}
+	for _, part := range strings.Split(strings.ToLower(s), "+") {
+		switch part {
+		case "mesti":
+			t.MESTI = true
+		case "emesti", "e-mesti":
+			t.MESTI = true
+			t.EMESTI = true
+		case "lvp":
+			t.LVP = true
+		case "sle":
+			t.SLE = true
+		default:
+			return t, fmt.Errorf("unknown technique %q (use mesti|emesti|lvp|sle, joined with +)", part)
+		}
+	}
+	return t, nil
+}
+
+func main() {
+	var (
+		name    = flag.String("workload", "tpc-b", "workload: "+strings.Join(workload.Names(), "|"))
+		techStr = flag.String("tech", "baseline", "technique combo, e.g. emesti+lvp")
+		cpus    = flag.Int("cpus", 4, "number of CPUs")
+		scale   = flag.Int("scale", 1, "workload scale factor")
+		seeds   = flag.Int("seeds", 1, "runs with latency jitter (CI when > 1)")
+		verbose = flag.Bool("verbose", false, "dump all event counters")
+		check   = flag.Bool("check", false, "enable the in-order commit checker")
+	)
+	flag.Parse()
+
+	tech, err := parseTech(*techStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	w, err := workload.ByName(*name, workload.Params{CPUs: *cpus, Scale: *scale, UnsafeISyncEvery: 3})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg := sim.ExperimentConfig()
+	cfg.CPUs = *cpus
+	cfg.Tech = tech
+	cfg.CheckCommits = *check
+
+	if *seeds > 1 {
+		s := sim.RunSample(cfg, w, *seeds)
+		fmt.Printf("%s under %s: %d runs, cycles %.0f ±%.0f (95%% CI), min %.0f max %.0f\n",
+			w.Name, tech, s.N(), s.Mean(), s.CI95(), s.Min(), s.Max())
+		return
+	}
+	r := sim.RunOne(cfg, w)
+	fmt.Printf("%s under %s\n", w.Name, tech)
+	fmt.Printf("  cycles    %d\n", r.Cycles)
+	fmt.Printf("  retired   %d (IPC %.3f)\n", r.Retired, r.IPC())
+	fmt.Printf("  finished  %v\n", r.Finished)
+	fmt.Printf("  misses    comm=%d mem=%d\n", r.Counters["miss/comm"], r.Counters["miss/mem"])
+	fmt.Printf("  bus txns  read=%d readx=%d upgrade=%d validate=%d wb=%d\n",
+		r.Counters["bus/txn/read"], r.Counters["bus/txn/readx"],
+		r.Counters["bus/txn/upgrade"], r.Counters["bus/txn/validate"],
+		r.Counters["bus/txn/writeback"])
+	if *verbose {
+		keys := make([]string, 0, len(r.Counters))
+		for k := range r.Counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %-36s %d\n", k, r.Counters[k])
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Falsesharing demonstrates the one population of misses only LVP can
+// rescue (§3.1, §5.3.2): four CPUs each own one word of the *same*
+// cache lines. Every write invalidates everyone else even though no
+// data is actually shared. MESTI cannot help (the lines never revert),
+// but LVP predicts from the tag-match-invalid copy — and because the
+// words a CPU reads are never the words others write, every prediction
+// verifies.
+//
+//	go run ./examples/falsesharing
+package main
+
+import (
+	"fmt"
+
+	"tssim/internal/isa"
+	"tssim/internal/mem"
+	"tssim/internal/sim"
+)
+
+const (
+	base  = 0x10000
+	lines = 16
+	iters = 60
+)
+
+// program: CPU i sweeps the shared lines reading and rewriting word i
+// of each — false sharing with every other CPU on every line.
+func program(cpu int) *isa.Program {
+	b := isa.NewBuilder(fmt.Sprintf("fs-cpu%d", cpu))
+	b.Li(isa.R8, iters)
+	outer := b.Here()
+	b.Li(isa.R10, base+int64(cpu)*8) // my word of line 0
+	b.Li(isa.R9, lines)
+	inner := b.Here()
+	b.Ld(isa.R11, isa.R10, 0)
+	b.Addi(isa.R11, isa.R11, 1)
+	b.St(isa.R11, isa.R10, 0)
+	b.Addi(isa.R10, isa.R10, mem.LineSize)
+	b.Addi(isa.R9, isa.R9, -1)
+	b.Bne(isa.R9, isa.R0, inner)
+	b.Delay(isa.R13, 300)
+	b.Addi(isa.R8, isa.R8, -1)
+	b.Bne(isa.R8, isa.R0, outer)
+	b.Halt()
+	return b.Build()
+}
+
+func main() {
+	const cpus = 4
+	progs := make([]*isa.Program, cpus)
+	for i := range progs {
+		progs[i] = program(i)
+	}
+	w := sim.Workload{
+		Name:     "falsesharing",
+		Programs: progs,
+		Validate: func(_ *mem.Memory, read func(uint64) uint64) error {
+			for c := 0; c < cpus; c++ {
+				var sum uint64
+				for l := 0; l < lines; l++ {
+					sum += read(base + uint64(l)*mem.LineSize + uint64(c)*8)
+				}
+				if sum != iters*lines {
+					return fmt.Errorf("cpu %d wrote %d increments, want %d", c, sum, iters*lines)
+				}
+			}
+			return nil
+		},
+	}
+
+	fmt.Println("Four CPUs ping-ponging falsely shared lines (word i belongs to CPU i).")
+	fmt.Println()
+	for _, tech := range []sim.Techniques{{}, {MESTI: true, EMESTI: true}, {LVP: true}} {
+		cfg := sim.DefaultConfig()
+		cfg.Tech = tech
+		r := sim.RunOne(cfg, w)
+		fmt.Printf("%-9s cycles=%-8d commMisses=%-5d lvpOK=%-5d lvpFail=%-3d validates=%d\n",
+			tech, r.Cycles,
+			r.Counters["miss/comm"],
+			r.Counters["lvp/verify_ok"],
+			r.Counters["lvp/verify_fail"],
+			r.Counters["bus/txn/validate"])
+	}
+	fmt.Println()
+	fmt.Println("E-MESTI finds nothing to validate (values never revert); LVP's")
+	fmt.Println("predictions verify because the remote writes never touch the words")
+	fmt.Println("this CPU reads — the latency hides under verified speculation.")
+}

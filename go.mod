@@ -1,0 +1,3 @@
+module tssim
+
+go 1.22

@@ -1,0 +1,424 @@
+// Package bus models the coherent interconnect of the simulated
+// multiprocessor: a snooping, serialized address network (bus) plus a
+// crossbar data network, following the Gigaplane-XB-style organization
+// of the paper's Table 1.
+//
+// The address bus is the coherence serialization point: transactions
+// are granted one at a time (round-robin arbitration, fixed occupancy
+// per transaction) and every other node snoops a transaction at its
+// grant instant, performing its protocol state change and contributing
+// to the combined snoop response. This "atomic address phase"
+// simplification preserves every effect the paper studies — validate
+// timeliness, upgrade races, verification latency for LVP — while
+// keeping data transfers (memory or cache-to-cache) realistically slow
+// and contended on a separate network.
+//
+// The combined response carries the shared/owned signals of a MOESI
+// bus plus the paper's *useful snoop response* overload: on
+// ReadX/Upgrade transactions, Shared=true means some remote node held
+// a valid copy (asserted by S/E/O/M holders, withheld by
+// Validate_Shared holders under E-MESTI) — the distributed training
+// signal for the useful-validate predictor (§2.3–2.4).
+package bus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tssim/internal/mem"
+	"tssim/internal/stats"
+)
+
+// TxnType enumerates address-bus transaction types.
+type TxnType uint8
+
+// Transaction types. Validate is MESTI's addition: an address-only
+// broadcast announcing that a line has reverted to its previous
+// globally visible value.
+const (
+	TxnRead      TxnType = iota // read shared copy
+	TxnReadX                    // read exclusive (RWITM)
+	TxnUpgrade                  // S/O -> M permission upgrade, no data
+	TxnWriteback                // dirty eviction to memory
+	TxnValidate                 // MESTI validate broadcast
+	txnTypeCount
+)
+
+var txnNames = [...]string{
+	TxnRead: "read", TxnReadX: "readx", TxnUpgrade: "upgrade",
+	TxnWriteback: "writeback", TxnValidate: "validate",
+}
+
+// String returns the lower-case transaction name used in counter keys.
+func (t TxnType) String() string {
+	if int(t) < len(txnNames) {
+		return txnNames[t]
+	}
+	return fmt.Sprintf("txn(%d)", uint8(t))
+}
+
+// Txn is one address-bus transaction. The requester fills the request
+// fields; the bus fills the response fields at grant time and delivers
+// the completed transaction back through Port.CompleteTxn.
+type Txn struct {
+	Type TxnType
+	Addr uint64 // line-aligned
+	Src  int    // requesting node id
+	Tag  uint64 // requester-private cookie (e.g. MSHR identity)
+
+	// WData carries the line payload for TxnWriteback, and the
+	// reverted line value for TxnValidate so that snooping T-state
+	// holders can (in debug builds) check the protocol invariant
+	// that their saved copy matches.
+	WData mem.Line
+
+	// Response fields, valid from grant time onward.
+	Shared  bool     // combined shared/useful snoop response
+	Owned   bool     // a remote cache supplied dirty data
+	HasData bool     // Data is meaningful (Read/ReadX)
+	Data    mem.Line // the returned line
+	doneAt  uint64
+}
+
+// Port is the interface every attached cache controller implements.
+type Port interface {
+	// GrantTxn fires on the requester at the moment its transaction
+	// wins arbitration — the serialization point. The controller may
+	// mutate the type (e.g. convert a stale Upgrade into a ReadX
+	// after losing an upgrade race) or cancel the transaction
+	// entirely (e.g. a validate whose line was snooped away while
+	// queued) by returning false.
+	GrantTxn(t *Txn) bool
+
+	// SnoopTxn observes another node's granted transaction,
+	// performs the required state change, and returns the node's
+	// snoop response. A non-nil Data means this node owns the dirty
+	// line and supplies it (cache-to-cache transfer).
+	SnoopTxn(t *Txn) SnoopReply
+
+	// CompleteTxn delivers the finished transaction (data arrived,
+	// or address phase done for dataless types) to the requester.
+	CompleteTxn(t *Txn)
+}
+
+// SnoopReply is one node's contribution to the combined response.
+type SnoopReply struct {
+	Shared bool      // assert the shared/useful line
+	Data   *mem.Line // non-nil: this cache supplies the line
+}
+
+// Config gives the interconnect timing, in cycles. Zero values are
+// replaced by DefaultConfig's.
+type Config struct {
+	AddrLatency   int // request grant -> dataless completion (address network min latency)
+	AddrOccupancy int // cycles the address bus is busy per transaction
+	MemLatency    int // grant -> data arrival from memory
+	C2CLatency    int // grant -> data arrival cache-to-cache
+	DataOccupancy int // data network occupancy per transfer
+	JitterMax     int // uniform [0,JitterMax) added to data latencies
+
+	// FillHold keeps a line's conflicting grants blocked for this
+	// many cycles after its data delivery: the receiving cache is
+	// writing the fill into its array and answering its core before
+	// it can service a snoop. Besides realism, this is what gives a
+	// store-conditional that just received its reservation line
+	// exclusively the handful of cycles it needs to perform — without
+	// it, queued rival requests are granted the cycle after delivery
+	// and contended LL/SC sequences never complete. 0 takes the
+	// default; use -1 to disable.
+	FillHold int
+}
+
+// DefaultConfig mirrors the paper's Table 1 interconnect: address
+// network minimum latency 200 cycles with 20-cycle occupancy;
+// memory/cache-to-cache minimum latency 400 cycles with 50-cycle
+// occupancy on the crossbar.
+func DefaultConfig() Config {
+	return Config{
+		AddrLatency:   200,
+		AddrOccupancy: 20,
+		MemLatency:    400,
+		C2CLatency:    400,
+		DataOccupancy: 50,
+		JitterMax:     0,
+		FillHold:      8,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.AddrLatency <= 0 {
+		c.AddrLatency = d.AddrLatency
+	}
+	if c.AddrOccupancy <= 0 {
+		c.AddrOccupancy = d.AddrOccupancy
+	}
+	if c.MemLatency <= 0 {
+		c.MemLatency = d.MemLatency
+	}
+	if c.C2CLatency <= 0 {
+		c.C2CLatency = d.C2CLatency
+	}
+	if c.DataOccupancy <= 0 {
+		c.DataOccupancy = d.DataOccupancy
+	}
+	if c.FillHold == 0 {
+		c.FillHold = d.FillHold
+	} else if c.FillHold < 0 {
+		c.FillHold = 0
+	}
+	return c
+}
+
+// lineHold defers a busy-line release until the given cycle.
+type lineHold struct {
+	addr uint64
+	at   uint64
+}
+
+// Bus is the interconnect instance.
+type Bus struct {
+	cfg      Config
+	memory   *mem.Memory
+	counters *stats.Counters
+	rng      *rand.Rand
+
+	ports    []Port
+	queues   [][]*Txn // per-node pending requests, FIFO
+	rr       int      // round-robin arbitration pointer
+	addrFree uint64   // first cycle the address bus is free
+	dataFree uint64   // first cycle the data network is free
+
+	inflight []*Txn // granted, awaiting completion delivery
+
+	// busyLines tracks lines with a granted data transfer still in
+	// flight. A transaction to such a line is held in its queue until
+	// the transfer lands: the requester logically owns the line from
+	// its grant (bus order) but has no data to supply to a snoop yet.
+	// Real protocols cover this window with transient states and
+	// retry responses; holding the grant is the equivalent, simpler
+	// serialization.
+	busyLines map[uint64]int
+
+	// holds are deferred busy-line releases (post-delivery FillHold).
+	holds []lineHold
+
+	// CheckValidateData enables the debug invariant that a
+	// validate's payload matches live T-state copies; the check
+	// itself lives in the controllers, which read this flag.
+	CheckValidateData bool
+
+	// TraceGrant, when non-nil, observes every granted transaction
+	// (diagnostics).
+	TraceGrant func(now uint64, t *Txn)
+}
+
+// New builds a bus over the given backing memory. counters may be
+// shared with other components; rng drives latency jitter and may be
+// nil when JitterMax is zero.
+func New(cfg Config, memory *mem.Memory, counters *stats.Counters, rng *rand.Rand) *Bus {
+	if counters == nil {
+		counters = stats.NewCounters()
+	}
+	c := cfg.withDefaults()
+	if c.JitterMax > 0 && rng == nil {
+		panic("bus: jitter requested without rng")
+	}
+	return &Bus{cfg: c, memory: memory, counters: counters, rng: rng,
+		busyLines: make(map[uint64]int)}
+}
+
+// Config returns the effective timing configuration.
+func (b *Bus) Config() Config { return b.cfg }
+
+// Attach registers a controller and returns its node id.
+func (b *Bus) Attach(p Port) int {
+	b.ports = append(b.ports, p)
+	b.queues = append(b.queues, nil)
+	return len(b.ports) - 1
+}
+
+// Nodes returns the number of attached controllers.
+func (b *Bus) Nodes() int { return len(b.ports) }
+
+// Request enqueues a transaction from its source node.
+func (b *Bus) Request(t *Txn) {
+	if t.Src < 0 || t.Src >= len(b.ports) {
+		panic(fmt.Sprintf("bus: request from unattached node %d", t.Src))
+	}
+	t.Addr = mem.LineAddr(t.Addr)
+	b.queues[t.Src] = append(b.queues[t.Src], t)
+}
+
+// PendingFrom returns the queued-but-ungranted transactions of a node.
+// The coherence layer uses it to detect upgrade races early; tests use
+// it for invariants.
+func (b *Bus) PendingFrom(src int) []*Txn { return b.queues[src] }
+
+// Idle reports whether no transaction is queued or in flight.
+func (b *Bus) Idle() bool {
+	for _, q := range b.queues {
+		if len(q) > 0 {
+			return false
+		}
+	}
+	return len(b.inflight) == 0
+}
+
+func (b *Bus) jitter() uint64 {
+	if b.cfg.JitterMax <= 0 {
+		return 0
+	}
+	return uint64(b.rng.Intn(b.cfg.JitterMax))
+}
+
+// Tick advances the interconnect one cycle: possibly grants one
+// transaction and delivers any completions due.
+func (b *Bus) Tick(now uint64) {
+	b.releaseHolds(now)
+	if now >= b.addrFree {
+		if t := b.nextRequest(); t != nil {
+			b.grant(t, now)
+		}
+	}
+	b.deliver(now)
+}
+
+func (b *Bus) releaseHolds(now uint64) {
+	out := b.holds[:0]
+	for _, h := range b.holds {
+		if h.at <= now {
+			if b.busyLines[h.addr] <= 1 {
+				delete(b.busyLines, h.addr)
+			} else {
+				b.busyLines[h.addr]--
+			}
+		} else {
+			out = append(out, h)
+		}
+	}
+	b.holds = out
+}
+
+// nextRequest pops the next transaction under round-robin arbitration,
+// skipping nodes whose head transaction targets a line with an
+// in-flight data transfer (per-node FIFO is preserved; only whole
+// queues are skipped).
+func (b *Bus) nextRequest() *Txn {
+	n := len(b.queues)
+	for i := 0; i < n; i++ {
+		node := (b.rr + i) % n
+		if len(b.queues[node]) == 0 {
+			continue
+		}
+		t := b.queues[node][0]
+		if b.busyLines[t.Addr] > 0 {
+			continue
+		}
+		b.queues[node] = b.queues[node][1:]
+		b.rr = (node + 1) % n
+		return t
+	}
+	return nil
+}
+
+func (b *Bus) grant(t *Txn, now uint64) {
+	if !b.ports[t.Src].GrantTxn(t) {
+		b.counters.Inc("bus/aborted/" + t.Type.String())
+		// An aborted transaction still consumed an arbitration
+		// attempt but we do not charge bus occupancy for it: the
+		// controller kills it before the address phase.
+		return
+	}
+	b.counters.Inc("bus/txn/" + t.Type.String())
+	if b.TraceGrant != nil {
+		b.TraceGrant(now, t)
+	}
+	b.addrFree = now + uint64(b.cfg.AddrOccupancy)
+
+	// Snoop phase: every other node observes the transaction in bus
+	// order and contributes its response.
+	var supplier *mem.Line
+	for id, p := range b.ports {
+		if id == t.Src {
+			continue
+		}
+		r := p.SnoopTxn(t)
+		if r.Shared {
+			t.Shared = true
+		}
+		if r.Data != nil {
+			if supplier != nil {
+				panic(fmt.Sprintf("bus: two owners supplied %#x", t.Addr))
+			}
+			supplier = r.Data
+			t.Owned = true
+		}
+	}
+
+	switch t.Type {
+	case TxnRead, TxnReadX:
+		t.HasData = true
+		b.busyLines[t.Addr]++
+		var base uint64
+		if supplier != nil {
+			t.Data = *supplier
+			base = uint64(b.cfg.C2CLatency)
+			b.counters.Inc("bus/data/c2c")
+		} else {
+			t.Data = b.memory.ReadLine(t.Addr)
+			base = uint64(b.cfg.MemLatency)
+			b.counters.Inc("bus/data/mem")
+		}
+		// The data network is occupied per transfer; a transfer
+		// must wait for a free slot, then takes the full latency.
+		start := now
+		if b.dataFree > start {
+			start = b.dataFree
+		}
+		b.dataFree = start + uint64(b.cfg.DataOccupancy)
+		t.doneAt = start + base + b.jitter()
+	case TxnWriteback:
+		b.memory.WriteLine(t.Addr, t.WData)
+		t.doneAt = now + uint64(b.cfg.AddrLatency)
+	case TxnUpgrade, TxnValidate:
+		t.doneAt = now + uint64(b.cfg.AddrLatency)
+	default:
+		panic(fmt.Sprintf("bus: unknown txn type %d", t.Type))
+	}
+	b.inflight = append(b.inflight, t)
+}
+
+func (b *Bus) deliver(now uint64) {
+	out := b.inflight[:0]
+	for _, t := range b.inflight {
+		if t.doneAt <= now {
+			if t.HasData {
+				// The busy mark persists through the fill hold.
+				b.holds = append(b.holds, lineHold{addr: t.Addr, at: now + uint64(b.cfg.FillHold)})
+			}
+			b.ports[t.Src].CompleteTxn(t)
+		} else {
+			out = append(out, t)
+		}
+	}
+	b.inflight = out
+}
+
+// DebugString renders queues, in-flight transactions, and busy lines
+// (diagnostics).
+func (b *Bus) DebugString() string {
+	out := fmt.Sprintf("bus addrFree=%d dataFree=%d inflight=%d\n", b.addrFree, b.dataFree, len(b.inflight))
+	for n, q := range b.queues {
+		for _, t := range q {
+			out += fmt.Sprintf("  queued node%d %s %#x\n", n, t.Type, t.Addr)
+		}
+	}
+	for _, t := range b.inflight {
+		out += fmt.Sprintf("  inflight node%d %s %#x doneAt=%d\n", t.Src, t.Type, t.Addr, t.doneAt)
+	}
+	for a, n := range b.busyLines {
+		out += fmt.Sprintf("  busy %#x count=%d\n", a, n)
+	}
+	return out
+}

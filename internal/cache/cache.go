@@ -1,0 +1,214 @@
+// Package cache provides the storage structures under the coherence
+// protocol: set-associative arrays with LRU replacement, per-word
+// dirty bits (the sub-block dirty bits whose NOR signals whole-line
+// temporal silence in Figure 5 of the paper), and miss status holding
+// registers (MSHRs) with the speculative-delivery tracking LVP needs.
+//
+// The array is protocol-agnostic: line state is an opaque byte owned
+// by the coherence layer. Crucially, lines keep their tag and data
+// when invalidated — a line whose state byte maps to "invalid" but
+// whose tag still matches is exactly the paper's *tag-match invalid*
+// line, the value-prediction source for LVP and the storage for
+// MESTI's temporally-invalid (T) copies.
+package cache
+
+import (
+	"fmt"
+
+	"tssim/internal/mem"
+)
+
+// Config sizes one cache array.
+type Config struct {
+	SizeBytes int // total capacity
+	Assoc     int // ways per set
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int {
+	lines := c.SizeBytes / mem.LineSize
+	if c.Assoc <= 0 || lines < c.Assoc {
+		return 1
+	}
+	return lines / c.Assoc
+}
+
+// Validate checks the configuration for common sizing mistakes.
+func (c Config) Validate() error {
+	if c.SizeBytes < mem.LineSize {
+		return fmt.Errorf("cache: size %dB smaller than one line", c.SizeBytes)
+	}
+	if c.Assoc < 1 {
+		return fmt.Errorf("cache: associativity %d < 1", c.Assoc)
+	}
+	sets := c.SizeBytes / mem.LineSize / c.Assoc
+	if sets == 0 {
+		return fmt.Errorf("cache: %dB / %d ways yields no sets", c.SizeBytes, c.Assoc)
+	}
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// Line is one cache entry. Allocated reports whether the tag is valid
+// (the frame holds *some* line); State is owned by the coherence
+// layer and may well be an "invalid" state while the tag and data are
+// retained.
+type Line struct {
+	Allocated bool
+	Addr      uint64 // line-aligned address
+	State     uint8  // opaque protocol state
+	Data      mem.Line
+	WordDirty uint8  // per-word dirty bits since last clean point
+	lru       uint64 // recency stamp
+}
+
+// DirtyNone means no word in the line has been modified.
+const DirtyNone = uint8(0)
+
+// SetWord writes one word into the line and marks it dirty.
+func (l *Line) SetWord(idx int, v uint64) {
+	l.Data.SetWord(idx, v)
+	l.WordDirty |= 1 << uint(idx)
+}
+
+// CleanAllWords clears all per-word dirty bits (after a writeback or a
+// clean fill).
+func (l *Line) CleanAllWords() { l.WordDirty = DirtyNone }
+
+// AnyDirty reports whether any word has been modified — the complement
+// of the NOR-of-dirty-bits silence signal.
+func (l *Line) AnyDirty() bool { return l.WordDirty != DirtyNone }
+
+// Cache is one set-associative array with true-LRU replacement.
+type Cache struct {
+	cfg   Config
+	sets  [][]Line
+	clock uint64
+
+	// Evictable, if non-nil, is consulted before choosing a victim;
+	// frames whose line it rejects are skipped when possible. The
+	// coherence layer uses it to avoid evicting lines with pending
+	// transactions.
+	Evictable func(l *Line) bool
+}
+
+// New builds an array from the configuration; it panics on invalid
+// configs since those are construction-time bugs.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.Sets()
+	c := &Cache{cfg: cfg, sets: make([][]Line, sets)}
+	for i := range c.sets {
+		c.sets[i] = make([]Line, cfg.Assoc)
+	}
+	return c
+}
+
+// Config returns the sizing this array was built with.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) setIndex(lineAddr uint64) int {
+	return int((lineAddr >> mem.LineShift) & uint64(len(c.sets)-1))
+}
+
+// Lookup returns the frame holding the line containing addr, or nil.
+// It does not touch recency; callers decide what counts as a use.
+func (c *Cache) Lookup(addr uint64) *Line {
+	la := mem.LineAddr(addr)
+	set := c.sets[c.setIndex(la)]
+	for i := range set {
+		if set[i].Allocated && set[i].Addr == la {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Touch marks the line as most recently used.
+func (c *Cache) Touch(l *Line) {
+	c.clock++
+	l.lru = c.clock
+}
+
+// Victim selects the frame that Allocate(addr) would use, without
+// modifying anything: an unallocated frame if present, otherwise the
+// least recently used (preferring frames the Evictable hook accepts).
+func (c *Cache) Victim(addr uint64) *Line {
+	set := c.sets[c.setIndex(mem.LineAddr(addr))]
+	var victim *Line
+	var fallback *Line
+	for i := range set {
+		f := &set[i]
+		if !f.Allocated {
+			return f
+		}
+		if fallback == nil || f.lru < fallback.lru {
+			fallback = f
+		}
+		if c.Evictable != nil && !c.Evictable(f) {
+			continue
+		}
+		if victim == nil || f.lru < victim.lru {
+			victim = f
+		}
+	}
+	if victim == nil {
+		victim = fallback
+	}
+	return victim
+}
+
+// Allocate installs a frame for the line containing addr and returns
+// it along with a copy of the displaced line (evicted.Allocated is
+// false when the frame was free). The caller must set State and Data;
+// the frame is returned zeroed apart from Addr and recency.
+func (c *Cache) Allocate(addr uint64) (frame *Line, evicted Line) {
+	la := mem.LineAddr(addr)
+	if existing := c.Lookup(la); existing != nil {
+		// Re-allocating a resident line is a caller bug.
+		panic(fmt.Sprintf("cache: Allocate(%#x) but line resident", la))
+	}
+	frame = c.Victim(la)
+	evicted = *frame
+	c.clock++
+	*frame = Line{Allocated: true, Addr: la, lru: c.clock}
+	return frame, evicted
+}
+
+// Drop deallocates the line containing addr entirely (tag and data
+// discarded). Used when retained stale data must not survive, e.g.
+// after an eviction at an outer level of an inclusive hierarchy.
+func (c *Cache) Drop(addr uint64) bool {
+	if l := c.Lookup(addr); l != nil {
+		*l = Line{}
+		return true
+	}
+	return false
+}
+
+// ForEach visits every allocated frame.
+func (c *Cache) ForEach(fn func(l *Line)) {
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			if c.sets[s][i].Allocated {
+				fn(&c.sets[s][i])
+			}
+		}
+	}
+}
+
+// CountState returns how many allocated lines carry the given protocol
+// state byte. Used by invariant checks in tests.
+func (c *Cache) CountState(state uint8) int {
+	n := 0
+	c.ForEach(func(l *Line) {
+		if l.State == state {
+			n++
+		}
+	})
+	return n
+}

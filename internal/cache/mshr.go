@@ -1,0 +1,156 @@
+package cache
+
+import (
+	"fmt"
+
+	"tssim/internal/mem"
+)
+
+// Waiter is one core operation blocked on an outstanding miss.
+type Waiter struct {
+	Seq     uint64 // program-order sequence number of the op
+	WordIdx int    // word within the line the op touches
+	IsLoad  bool
+	IsLL    bool // load-locked: sets the reservation when data binds
+	GotSpec bool // received a speculative (LVP) value at issue
+}
+
+// MSHR is one miss status holding register. Besides the usual merge
+// bookkeeping it carries the LVP speculative-delivery state of §3.2 of
+// the paper: which word locations were returned to the core from a
+// tag-match invalid line, the predicted values, and the oldest op in
+// program order holding speculative data (the squash point on a value
+// mismatch).
+type MSHR struct {
+	Valid  bool
+	Addr   uint64 // line-aligned address of the miss
+	Write  bool   // true when the line is wanted exclusively (ReadX)
+	Issued bool   // bus transaction has been sent
+
+	// LVP speculative state.
+	SpecDelivered bool     // some value was speculatively delivered
+	SpecWords     uint8    // bitmask of word slots delivered
+	SpecData      mem.Line // predicted line contents at delivery time
+	OldestSeq     uint64   // oldest op with speculative data
+
+	Waiters []Waiter
+}
+
+// RecordSpec notes that the word at slot was speculatively delivered
+// to the op with the given sequence number, tracking the oldest such
+// op. The predicted word value is captured for later verification.
+func (m *MSHR) RecordSpec(slot int, seq uint64, value uint64) {
+	if !m.SpecDelivered || seq < m.OldestSeq {
+		m.OldestSeq = seq
+	}
+	m.SpecDelivered = true
+	m.SpecWords |= 1 << uint(slot)
+	m.SpecData.SetWord(slot, value)
+}
+
+// Verify compares arrived data against every speculatively delivered
+// word. It returns true when all predictions were correct. Comparing
+// only the accessed words (not the whole line) is what lets LVP ride
+// through false sharing (§3.2): a remote write to a different word of
+// the line must not look like a value misprediction.
+func (m *MSHR) Verify(arrived *mem.Line) bool {
+	if !m.SpecDelivered {
+		return true
+	}
+	for slot := 0; slot < mem.WordsPerLine; slot++ {
+		if m.SpecWords&(1<<uint(slot)) == 0 {
+			continue
+		}
+		if arrived.Word(slot) != m.SpecData.Word(slot) {
+			return false
+		}
+	}
+	return true
+}
+
+// MSHRFile is a fixed-capacity set of MSHRs. Exhaustion stalls further
+// misses, which is itself a modeled structural hazard (it bounds the
+// memory-level parallelism LVP can exploit, one of the paper's central
+// points about finite machines).
+type MSHRFile struct {
+	entries []MSHR
+}
+
+// NewMSHRFile builds a file with n entries.
+func NewMSHRFile(n int) *MSHRFile {
+	if n < 1 {
+		panic(fmt.Sprintf("cache: MSHR file size %d", n))
+	}
+	return &MSHRFile{entries: make([]MSHR, n)}
+}
+
+// Lookup finds the MSHR already tracking the line containing addr.
+func (f *MSHRFile) Lookup(addr uint64) *MSHR {
+	la := mem.LineAddr(addr)
+	for i := range f.entries {
+		if f.entries[i].Valid && f.entries[i].Addr == la {
+			return &f.entries[i]
+		}
+	}
+	return nil
+}
+
+// Alloc claims a free MSHR for the line containing addr, or returns
+// nil when the file is full.
+func (f *MSHRFile) Alloc(addr uint64, write bool) *MSHR {
+	if f.Lookup(addr) != nil {
+		panic(fmt.Sprintf("cache: duplicate MSHR for %#x", mem.LineAddr(addr)))
+	}
+	for i := range f.entries {
+		if !f.entries[i].Valid {
+			f.entries[i] = MSHR{Valid: true, Addr: mem.LineAddr(addr), Write: write}
+			return &f.entries[i]
+		}
+	}
+	return nil
+}
+
+// Free releases the MSHR.
+func (f *MSHRFile) Free(m *MSHR) { *m = MSHR{} }
+
+// InUse returns the number of live entries.
+func (f *MSHRFile) InUse() int {
+	n := 0
+	for i := range f.entries {
+		if f.entries[i].Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Cap returns the file capacity.
+func (f *MSHRFile) Cap() int { return len(f.entries) }
+
+// OldestSpecSeq scans all MSHRs for the oldest op in program order
+// with outstanding speculative data, mirroring the commit-pointer scan
+// of §3.2 (performed only on miss/fill events in hardware). The second
+// result is false when no speculation is outstanding.
+func (f *MSHRFile) OldestSpecSeq() (uint64, bool) {
+	var oldest uint64
+	found := false
+	for i := range f.entries {
+		e := &f.entries[i]
+		if e.Valid && e.SpecDelivered {
+			if !found || e.OldestSeq < oldest {
+				oldest = e.OldestSeq
+				found = true
+			}
+		}
+	}
+	return oldest, found
+}
+
+// ForEach visits every live MSHR.
+func (f *MSHRFile) ForEach(fn func(m *MSHR)) {
+	for i := range f.entries {
+		if f.entries[i].Valid {
+			fn(&f.entries[i])
+		}
+	}
+}

@@ -1,0 +1,607 @@
+package core
+
+import (
+	"fmt"
+
+	"tssim/internal/bus"
+	"tssim/internal/cache"
+	"tssim/internal/mem"
+	"tssim/internal/predictor"
+	"tssim/internal/stale"
+	"tssim/internal/stats"
+)
+
+// storeEntry is one retired store waiting in the post-retirement store
+// buffer for permission to perform.
+type storeEntry struct {
+	seq     uint64
+	pc      uint64
+	addr    uint64 // word-aligned
+	val     uint64
+	isSC    bool
+	waiting bool // a bus transaction for permission is outstanding
+}
+
+// Controller is one node's cache and coherence controller.
+type Controller struct {
+	cfg      Config
+	id       int
+	bus      *bus.Bus
+	client   Client
+	counters *stats.Counters
+
+	l1    *cache.Cache // presence only; data lives in the L2
+	l2    *cache.Cache
+	mshrs *cache.MSHRFile
+
+	detector stale.Detector               // temporal-silence candidates (MESTI)
+	vpred    *predictor.ValidatePredictor // useful-validate predictor (E-MESTI)
+
+	storeBuf []storeEntry
+
+	// LL/SC reservation.
+	resAddr  uint64
+	resValid bool
+
+	// tsSilent marks lines currently reverted to their previous
+	// globally visible value (between TS detection and the next
+	// intermediate-value store).
+	tsSilent map[uint64]bool
+
+	// Writeback buffer: evicted dirty lines awaiting their writeback
+	// grant still supply snoops from here. Value is refcounted via
+	// wbPending in case the same line is evicted twice in flight.
+	wbBuf     map[uint64]mem.Line
+	wbPending map[uint64]int
+}
+
+// NewController builds a controller, attaches it to the bus, and
+// returns it. All controllers in a system share counters.
+func NewController(cfg Config, b *bus.Bus, client Client, counters *stats.Counters) *Controller {
+	if cfg.EMESTI && !cfg.MESTI {
+		panic("core: EMESTI requires MESTI")
+	}
+	if cfg.MSHRs <= 0 {
+		cfg.MSHRs = 8
+	}
+	if cfg.StoreBuf <= 0 {
+		cfg.StoreBuf = 16
+	}
+	c := &Controller{
+		cfg:       cfg,
+		bus:       b,
+		client:    client,
+		counters:  counters,
+		l1:        cache.New(cfg.L1),
+		l2:        cache.New(cfg.L2),
+		mshrs:     cache.NewMSHRFile(cfg.MSHRs),
+		tsSilent:  make(map[uint64]bool),
+		wbBuf:     make(map[uint64]mem.Line),
+		wbPending: make(map[uint64]int),
+	}
+	if cfg.MESTI {
+		c.detector = cfg.Detector
+		if c.detector == nil {
+			c.detector = stale.NewPerfect()
+		}
+		if cfg.EMESTI {
+			p := cfg.ValidateParams
+			if p.SatMax == 0 {
+				p = predictor.DefaultValidateParams()
+			}
+			c.vpred = predictor.NewValidatePredictor(p)
+		}
+	}
+	// Never evict a line with an outstanding miss: the fill would
+	// have nowhere to land.
+	c.l2.Evictable = func(l *cache.Line) bool {
+		return c.mshrs.Lookup(l.Addr) == nil
+	}
+	c.id = b.Attach(c)
+	return c
+}
+
+// ID returns the node id on the bus.
+func (c *Controller) ID() int { return c.id }
+
+// Config returns the controller configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+func (c *Controller) count(name string) { c.counters.Inc(name) }
+
+// ---------------------------------------------------------------------------
+// CPU-facing request paths
+// ---------------------------------------------------------------------------
+
+// Load services a load (or load-locked) issued by the core's LSQ.
+func (c *Controller) Load(seq uint64, addr uint64, isLL bool) LoadResult {
+	addr = mem.AlignWord(addr)
+	la := mem.LineAddr(addr)
+	slot := mem.WordIndex(addr)
+
+	// Forward from the post-retirement store buffer: buffered stores
+	// are older than any issuing load. Scan youngest-first. Pending
+	// SCs may still fail, so a matching SC blocks the load instead of
+	// forwarding a value that might never be written.
+	for i := len(c.storeBuf) - 1; i >= 0; i-- {
+		e := &c.storeBuf[i]
+		if e.addr != addr {
+			continue
+		}
+		if e.isSC {
+			return LoadResult{Status: LoadRetry}
+		}
+		c.count("l1/store_forward")
+		if isLL {
+			c.setReservation(la)
+		}
+		return LoadResult{Status: LoadHit, Value: e.val, Lat: c.cfg.L1Latency}
+	}
+
+	l2line := c.l2.Lookup(la)
+
+	// L1 hit: presence implies the L2 holds the line readable.
+	if l1line := c.l1.Lookup(la); l1line != nil {
+		if l2line == nil || !Readable(l2line.State) {
+			panic(fmt.Sprintf("core: L1 presence without readable L2 line at %#x", la))
+		}
+		c.l1.Touch(l1line)
+		c.count("l1/hit")
+		if l2line.State == StateVS {
+			// unreachable by the inclusion invariant (VS lines are
+			// never L1-resident) but kept as defense in depth
+			l2line.State = StateS
+		}
+		if isLL {
+			c.setReservation(la)
+		}
+		return LoadResult{Status: LoadHit, Value: l2line.Data.Word(slot), Lat: c.cfg.L1Latency}
+	}
+	c.count("l1/miss")
+
+	// L2 hit with read permission.
+	if l2line != nil && Readable(l2line.State) {
+		if l2line.State == StateVS {
+			// A local request transitions Validate_Shared to Shared
+			// (§2.3) — the line has now been *used* since its
+			// validate, so future useful snoop responses assert.
+			l2line.State = StateS
+			c.count("emesti/vs_use")
+		}
+		c.l2.Touch(l2line)
+		c.count("l2/hit")
+		c.fillL1(la)
+		if isLL {
+			c.setReservation(la)
+		}
+		return LoadResult{Status: LoadHit, Value: l2line.Data.Word(slot), Lat: c.cfg.L1Latency + c.cfg.L2Latency}
+	}
+	c.count("l2/miss")
+
+	// Miss: merge into an existing MSHR or allocate one. A
+	// load-locked miss fetches the line *exclusively* (read with
+	// intent to modify), as real LL/SC implementations do: the
+	// store-conditional can then perform locally, shrinking the
+	// window in which a remote write can kill the reservation from a
+	// full bus round-trip to a handful of core cycles — without it, a
+	// contended fetch-and-add can make no forward progress at these
+	// interconnect latencies.
+	m := c.mshrs.Lookup(la)
+	if m == nil {
+		m = c.mshrs.Alloc(la, isLL)
+		if m == nil {
+			c.count("l2/mshr_full")
+			return LoadResult{Status: LoadRetry}
+		}
+		ty := bus.TxnRead
+		if isLL {
+			ty = bus.TxnReadX
+			c.count("l2/ll_exclusive_fetch")
+		}
+		c.bus.Request(&bus.Txn{Type: ty, Addr: la, Src: c.id})
+	}
+	w := cache.Waiter{Seq: seq, WordIdx: slot, IsLoad: true, IsLL: isLL}
+
+	// LVP: a tag-match invalid line (state I after an invalidation or
+	// eviction of permission, or T under MESTI) supplies a value
+	// prediction (§3.1-3.2).
+	if c.cfg.LVP && l2line != nil {
+		v := l2line.Data.Word(slot)
+		m.RecordSpec(slot, seq, v)
+		w.GotSpec = true
+		m.Waiters = append(m.Waiters, w)
+		c.count("lvp/spec_deliver")
+		return LoadResult{Status: LoadSpec, Value: v, Lat: c.cfg.L1Latency + c.cfg.L2Latency}
+	}
+	m.Waiters = append(m.Waiters, w)
+	return LoadResult{Status: LoadMiss}
+}
+
+// StoreCommit accepts a retired store into the store buffer. A false
+// return means the buffer is full and the core must stall retirement.
+func (c *Controller) StoreCommit(seq, pc, addr, val uint64) bool {
+	if len(c.storeBuf) >= c.cfg.StoreBuf {
+		c.count("store/buffer_full")
+		return false
+	}
+	c.storeBuf = append(c.storeBuf, storeEntry{seq: seq, pc: pc, addr: mem.AlignWord(addr), val: val})
+	return true
+}
+
+// SCExecute submits a store-conditional. The outcome arrives via
+// Client.SCDone once the store reaches the coherence point; the core
+// keeps the SC at the head of its window until then.
+func (c *Controller) SCExecute(seq, pc, addr, val uint64) bool {
+	if len(c.storeBuf) >= c.cfg.StoreBuf {
+		return false
+	}
+	c.storeBuf = append(c.storeBuf, storeEntry{seq: seq, pc: pc, addr: mem.AlignWord(addr), val: val, isSC: true})
+	return true
+}
+
+// StoreBufEmpty reports whether all retired stores have performed.
+func (c *Controller) StoreBufEmpty() bool { return len(c.storeBuf) == 0 }
+
+func (c *Controller) setReservation(lineAddr uint64) {
+	c.resAddr = lineAddr
+	c.resValid = true
+}
+
+// HasReservation reports whether the LL/SC reservation is live for the
+// line (test hook).
+func (c *Controller) HasReservation(lineAddr uint64) bool {
+	return c.resValid && c.resAddr == mem.LineAddr(lineAddr)
+}
+
+// ---------------------------------------------------------------------------
+// Tick: store buffer drain
+// ---------------------------------------------------------------------------
+
+// Tick advances the controller one cycle: it tries to perform the
+// store at the head of the store buffer.
+func (c *Controller) Tick(now uint64) {
+	_ = now
+	c.tickStore()
+}
+
+func (c *Controller) tickStore() {
+	if c.tryPerformHead() {
+		return
+	}
+	if len(c.storeBuf) == 0 {
+		return
+	}
+	e := &c.storeBuf[0]
+	la := mem.LineAddr(e.addr)
+
+	if e.waiting {
+		return // permission transaction outstanding
+	}
+	l2line := c.l2.Lookup(la)
+
+	// Upgradable: dataless Upgrade.
+	if l2line != nil && Upgradable(l2line.State) || (l2line != nil && l2line.State == StateVS) {
+		if l2line.State == StateVS {
+			l2line.State = StateS // local request moves VS to S
+			c.count("emesti/vs_use")
+		}
+		if c.mshrs.Lookup(la) != nil {
+			return // line busy; retry when it clears
+		}
+		m := c.mshrs.Alloc(la, true)
+		if m == nil {
+			return
+		}
+		if c.tsSilent[la] && c.vpred != nil {
+			// The intermediate-value store is being made visible;
+			// the predictor moves to its upgrade-request state and
+			// will consume the combined useful snoop response.
+			c.vpred.OnIntermediateStoreVisible(la)
+		}
+		c.bus.Request(&bus.Txn{Type: bus.TxnUpgrade, Addr: la, Src: c.id})
+		e.waiting = true
+		return
+	}
+
+	// Invalid (I/T/absent): ReadX.
+	if c.mshrs.Lookup(la) != nil {
+		return // a read miss is in flight; wait for it to land
+	}
+	m := c.mshrs.Alloc(la, true)
+	if m == nil {
+		return
+	}
+	c.bus.Request(&bus.Txn{Type: bus.TxnReadX, Addr: la, Src: c.id})
+	e.waiting = true
+}
+
+// tryPerformHead performs the store at the head of the store buffer
+// if it can complete right now (writable line, update-silent squash,
+// or SC failure). It returns true when the head was consumed. It is
+// called every tick and — critically — at the grant instant of the
+// head store's upgrade: the write is ordered at the bus serialization
+// point, so a contender snooping the line a cycle later already sees
+// the new value. Deferring the write to the upgrade *completion* would
+// let contenders steal the line during the address-phase latency and
+// the store would ping-pong without ever performing.
+func (c *Controller) tryPerformHead() bool {
+	if len(c.storeBuf) == 0 {
+		return false
+	}
+	e := &c.storeBuf[0]
+	la := mem.LineAddr(e.addr)
+	slot := mem.WordIndex(e.addr)
+
+	// SC: the reservation must still be live when the store reaches
+	// the coherence point.
+	if e.isSC && !c.HasReservation(la) {
+		c.resValid = false
+		c.count("store/sc_fail")
+		c.client.SCDone(e.seq, false)
+		c.popStore()
+		return true
+	}
+
+	l2line := c.l2.Lookup(la)
+
+	// Update-silent store squashing: a store whose value matches the
+	// current content of a readable line has no architectural effect
+	// and is dropped without acquiring write permission (§1, [21]).
+	if c.cfg.SquashUpdateSilent && l2line != nil && Readable(l2line.State) &&
+		l2line.Data.Word(slot) == e.val {
+		c.count("store/us_detected")
+		c.count("store/us_squash")
+		if e.isSC {
+			c.resValid = false
+			c.count("store/sc_success")
+			c.client.SCDone(e.seq, true)
+		}
+		c.popStore()
+		return true
+	}
+
+	// Permission held: perform.
+	if l2line != nil && Writable(l2line.State) {
+		c.performStore(l2line, e, slot)
+		c.popStore()
+		return true
+	}
+	return false
+}
+
+func (c *Controller) popStore() {
+	n := copy(c.storeBuf, c.storeBuf[1:])
+	c.storeBuf = c.storeBuf[:n]
+}
+
+// performStore writes one word into a line held in M or E and runs the
+// MESTI temporal-silence machinery.
+func (c *Controller) performStore(l *cache.Line, e *storeEntry, slot int) {
+	la := l.Addr
+	if l.State == StateE {
+		// E -> M is a visibility boundary: the current (clean,
+		// globally visible) contents become the reversion candidate
+		// (the bold PrWr arcs of Figure 2).
+		if c.detector != nil {
+			c.detector.SaveStale(la, l.Data)
+		}
+		l.State = StateM
+	}
+	prevSilent := c.tsSilent[la]
+	if l.Data.Word(slot) == e.val {
+		// Update-silent store that was not squashed (squashing off,
+		// or the line only became readable now): counted for the
+		// Table 2 characterization.
+		c.count("store/us_detected")
+	}
+	l.SetWord(slot, e.val)
+	c.l2.Touch(l)
+	c.count("store/performed")
+	if e.isSC {
+		c.resValid = false
+		c.count("store/sc_success")
+		c.client.SCDone(e.seq, true)
+	}
+
+	if c.detector == nil {
+		return
+	}
+	cand, ok := c.detector.Candidate(la)
+	nowSilent := ok && l.Data.Equal(&cand)
+	switch {
+	case nowSilent && !prevSilent:
+		// Temporal silence detected: the line has reverted to its
+		// previous globally visible value.
+		c.tsSilent[la] = true
+		c.count("mesti/ts_detect")
+		send := true
+		if c.vpred != nil {
+			send = c.vpred.OnTSDetect(la)
+		}
+		if send {
+			t := &bus.Txn{Type: bus.TxnValidate, Addr: la, Src: c.id, WData: l.Data}
+			c.bus.Request(t)
+			c.count("mesti/validate_requested")
+		} else {
+			c.count("mesti/validate_suppressed")
+		}
+	case !nowSilent && prevSilent:
+		// The silent period ended with a store that needed no bus
+		// transaction (the validate had been suppressed, or was
+		// cancelled before grant). No useful snoop response exists.
+		delete(c.tsSilent, la)
+		if c.vpred != nil {
+			c.vpred.OnIntermediateStoreSilentlyLocal(la)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// SLE support
+// ---------------------------------------------------------------------------
+
+// PrefetchExclusive requests write permission for a line the SLE
+// engine has speculatively written, so the eventual atomic commit can
+// perform instantly. Best effort: structural hazards are simply
+// dropped and retried by the engine.
+func (c *Controller) PrefetchExclusive(addr uint64) {
+	la := mem.LineAddr(addr)
+	l := c.l2.Lookup(la)
+	if l != nil && Writable(l.State) {
+		return
+	}
+	if c.mshrs.Lookup(la) != nil {
+		return
+	}
+	m := c.mshrs.Alloc(la, true)
+	if m == nil {
+		return
+	}
+	if l != nil && (Upgradable(l.State) || l.State == StateVS) {
+		if l.State == StateVS {
+			l.State = StateS
+			c.count("emesti/vs_use")
+		}
+		c.bus.Request(&bus.Txn{Type: bus.TxnUpgrade, Addr: la, Src: c.id})
+		c.count("sle/prefetch_upgrade")
+	} else {
+		c.bus.Request(&bus.Txn{Type: bus.TxnReadX, Addr: la, Src: c.id})
+		c.count("sle/prefetch_readx")
+	}
+}
+
+// HoldsWritable reports whether the line can be written with no bus
+// transaction right now.
+func (c *Controller) HoldsWritable(addr uint64) bool {
+	l := c.l2.Lookup(mem.LineAddr(addr))
+	return l != nil && Writable(l.State)
+}
+
+// SLECommitStores atomically performs a speculative critical section's
+// stores. All target lines must be writable at this instant (between
+// bus grants nothing can intervene); otherwise nothing is performed
+// and false is returned so the engine keeps prefetching or aborts.
+func (c *Controller) SLECommitStores(stores []SpecStore) bool {
+	for i := range stores {
+		if !c.HoldsWritable(stores[i].Addr) {
+			return false
+		}
+	}
+	for i := range stores {
+		s := &stores[i]
+		la := mem.LineAddr(s.Addr)
+		l := c.l2.Lookup(la)
+		e := storeEntry{addr: mem.AlignWord(s.Addr), val: s.Value}
+		c.performStore(l, &e, mem.WordIndex(s.Addr))
+		c.count("sle/store_committed")
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Fills and evictions
+// ---------------------------------------------------------------------------
+
+func (c *Controller) fillL1(la uint64) {
+	if c.l1.Lookup(la) != nil {
+		return
+	}
+	f, ev := c.l1.Allocate(la)
+	if ev.Allocated && c.detector != nil {
+		c.detector.OnL1Evict(ev.Addr)
+	}
+	c.l1.Touch(f)
+	if c.detector != nil {
+		c.detector.OnL1Fill(la)
+	}
+}
+
+// installL2 places arrived data into the L2, reusing a tag-match frame
+// or allocating (with eviction handling), and returns the frame.
+func (c *Controller) installL2(la uint64, data mem.Line, state State) *cache.Line {
+	l := c.l2.Lookup(la)
+	if l == nil {
+		var ev cache.Line
+		l, ev = c.l2.Allocate(la)
+		if ev.Allocated {
+			c.evictL2(&ev)
+		}
+	}
+	l.Data = data
+	l.State = state
+	l.CleanAllWords()
+	c.l2.Touch(l)
+	return l
+}
+
+func (c *Controller) evictL2(victim *cache.Line) {
+	la := victim.Addr
+	if Dirty(victim.State) {
+		c.wbBuf[la] = victim.Data
+		c.wbPending[la]++
+		c.bus.Request(&bus.Txn{Type: bus.TxnWriteback, Addr: la, Src: c.id, WData: victim.Data})
+		c.count("l2/evict_dirty")
+	} else {
+		c.count("l2/evict_clean")
+	}
+	delete(c.tsSilent, la)
+	if c.detector != nil {
+		c.detector.Drop(la)
+	}
+	if c.vpred != nil {
+		c.vpred.Evict(la)
+	}
+	c.l1.Drop(la) // inclusion
+}
+
+// dropFromL1 removes a line from the L1 presence array when the L2
+// loses read permission.
+func (c *Controller) dropFromL1(la uint64) {
+	if c.l1.Drop(la) && c.detector != nil {
+		c.detector.OnL1Evict(la)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Introspection for tests and invariant checks
+// ---------------------------------------------------------------------------
+
+// LineState returns the L2 state of the line containing addr (StateI
+// when absent).
+func (c *Controller) LineState(addr uint64) State {
+	if l := c.l2.Lookup(mem.LineAddr(addr)); l != nil {
+		return l.State
+	}
+	return StateI
+}
+
+// LineData returns the L2 data of the line containing addr.
+func (c *Controller) LineData(addr uint64) (mem.Line, bool) {
+	if l := c.l2.Lookup(mem.LineAddr(addr)); l != nil {
+		return l.Data, true
+	}
+	return mem.Line{}, false
+}
+
+// Predictor exposes the useful-validate predictor (nil unless EMESTI).
+func (c *Controller) Predictor() *predictor.ValidatePredictor { return c.vpred }
+
+// Detector exposes the temporal-silence detector (nil unless MESTI).
+func (c *Controller) Detector() stale.Detector { return c.detector }
+
+// ForEachL2 visits every allocated L2 frame (invariant checks).
+func (c *Controller) ForEachL2(fn func(l *cache.Line)) { c.l2.ForEach(fn) }
+
+// DebugMSHRs renders live MSHRs (diagnostics).
+func (c *Controller) DebugMSHRs() string {
+	out := ""
+	c.mshrs.ForEach(func(m *cache.MSHR) {
+		out += fmt.Sprintf("  mshr addr=%#x write=%v spec=%v waiters=%d oldest=%d\n",
+			m.Addr, m.Write, m.SpecDelivered, len(m.Waiters), m.OldestSeq)
+	})
+	if len(c.storeBuf) > 0 {
+		out += fmt.Sprintf("  storeBuf=%d head={addr=%#x sc=%v waiting=%v}\n",
+			len(c.storeBuf), c.storeBuf[0].addr, c.storeBuf[0].isSC, c.storeBuf[0].waiting)
+	}
+	return out
+}

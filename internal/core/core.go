@@ -1,0 +1,171 @@
+// Package core implements the paper's primary contribution: the
+// per-node cache/coherence controller speaking MOESI augmented with
+// the MESTI temporally-invalid (T) state and validate transaction
+// (Figure 2), the Enhanced-MESTI Validate_Shared state, useful snoop
+// response, and useful-validate coherence predictor (Figures 3 and 4),
+// plus the controller half of LVP — speculative value delivery from
+// tag-match invalid lines with MSHR-based verification (§3.2).
+//
+// One Controller sits between each simulated CPU core and the snooping
+// bus, owning a two-level private hierarchy: an L1-D presence array
+// (latency filter) over an L2 that holds the coherence state and data.
+// The L2 is the coherence point, as in the paper (§2.5); the L2 data
+// is kept current with every performed store, so external snoops are
+// always serviced from the L2 — the paper's property that "the most
+// up-to-date copy always resides in either the L1-D or the L2" with
+// the write-through maintained invisibly by the simulator.
+package core
+
+import (
+	"fmt"
+
+	"tssim/internal/cache"
+	"tssim/internal/predictor"
+	"tssim/internal/stale"
+)
+
+// State is the coherence state of an L2 line. The protocol is MOESTI:
+// MOESI (the Gigaplane-XB baseline of Table 1) plus MESTI's T state
+// and E-MESTI's Validate_Shared.
+type State = uint8
+
+// Protocol states.
+const (
+	StateI State = iota // invalid (tag and data may be retained: tag-match invalid)
+	StateS              // shared, clean
+	StateE              // exclusive, clean
+	StateO              // owned: shared, dirty, this node supplies data
+	StateM              // modified: exclusive, dirty
+	StateT              // temporally invalid: invalid, holding the last
+	// globally visible value as a reversion candidate (MESTI)
+	StateVS // Validate_Shared: revalidated but untouched since (E-MESTI)
+)
+
+// StateName renders a protocol state for diagnostics.
+func StateName(s State) string {
+	switch s {
+	case StateI:
+		return "I"
+	case StateS:
+		return "S"
+	case StateE:
+		return "E"
+	case StateO:
+		return "O"
+	case StateM:
+		return "M"
+	case StateT:
+		return "T"
+	case StateVS:
+		return "VS"
+	}
+	return fmt.Sprintf("state(%d)", s)
+}
+
+// Readable reports whether a local load may hit on the state.
+func Readable(s State) bool {
+	switch s {
+	case StateS, StateE, StateO, StateM, StateVS:
+		return true
+	}
+	return false
+}
+
+// Writable reports whether a local store may perform without a bus
+// transaction.
+func Writable(s State) bool { return s == StateE || s == StateM }
+
+// Dirty reports whether eviction of the state requires a writeback.
+func Dirty(s State) bool { return s == StateM || s == StateO }
+
+// Upgradable reports whether write permission can be obtained with a
+// dataless Upgrade (the node holds current data).
+func Upgradable(s State) bool { return s == StateS || s == StateO }
+
+// Config configures one node's controller.
+type Config struct {
+	L1 cache.Config // L1-D presence array (latency filter)
+	L2 cache.Config // coherence point, holds state and data
+
+	L1Latency int // cycles for an L1 hit
+	L2Latency int // additional cycles for an L2 hit
+	MSHRs     int // outstanding-miss limit (bounds MLP)
+	StoreBuf  int // post-retirement store buffer capacity
+
+	// Technique selection.
+	MESTI              bool // T state + validate broadcast
+	EMESTI             bool // + Validate_Shared, useful response, predictor
+	LVP                bool // speculative load values from tag-match invalid lines
+	SquashUpdateSilent bool // drop stores whose value matches memory (update silence)
+
+	ValidateParams predictor.ValidateParams // E-MESTI predictor tuning
+
+	// Detector supplies temporal-silence candidates; nil selects the
+	// perfect detector (the paper's assumption for performance
+	// studies). Only consulted when MESTI is enabled.
+	Detector stale.Detector
+}
+
+// DefaultConfig returns a scaled-down version of the paper's Table 1
+// per-node hierarchy. The paper's 64KB L1-D / 512KB L1 / 16MB L2 per
+// node shrink to 16KB / 256KB while the workloads shrink accordingly;
+// all latency ratios are preserved (L1 hit 2, +L2 4).
+func DefaultConfig() Config {
+	return Config{
+		L1:        cache.Config{SizeBytes: 16 * 1024, Assoc: 4},
+		L2:        cache.Config{SizeBytes: 256 * 1024, Assoc: 8},
+		L1Latency: 2,
+		L2Latency: 4,
+		MSHRs:     8,
+		StoreBuf:  16,
+	}
+}
+
+// LoadStatus classifies the controller's immediate answer to a load.
+type LoadStatus int
+
+// Load outcomes.
+const (
+	LoadHit   LoadStatus = iota // value returned now, after Lat cycles
+	LoadMiss                    // value arrives later via Client.LoadDone
+	LoadSpec                    // speculative value now; verification later
+	LoadRetry                   // structural hazard; reissue next cycle
+)
+
+// LoadResult is the immediate answer to Controller.Load.
+type LoadResult struct {
+	Status LoadStatus
+	Value  uint64 // valid for LoadHit and LoadSpec
+	Lat    int    // cycles until the value may be used (Hit/Spec)
+}
+
+// Client is the CPU-side listener for asynchronous controller events.
+type Client interface {
+	// LoadDone delivers the (architecturally correct) value for a
+	// load that previously returned LoadMiss.
+	LoadDone(seq uint64, value uint64)
+	// LoadsVerified marks previously speculative (LoadSpec) loads as
+	// verified correct; they may now retire.
+	LoadsVerified(seqs []uint64)
+	// SquashSpec orders the core to recover from an LVP value
+	// misprediction: seqs are the ops that received speculative
+	// values from the failing line. The core squashes from the
+	// oldest of them still in flight (dead ones were already
+	// squashed for other reasons and re-fetched clean).
+	SquashSpec(seqs []uint64)
+	// SCDone reports the outcome of a store-conditional previously
+	// submitted with SCExecute.
+	SCDone(seq uint64, success bool)
+	// ExternalSnoop observes every transaction this node snoops from
+	// the bus; the SLE engine uses it for atomicity-violation
+	// detection. isWrite is true for invalidating transactions
+	// (ReadX/Upgrade).
+	ExternalSnoop(lineAddr uint64, isWrite bool)
+}
+
+// SpecStore is one speculatively buffered SLE store presented for
+// atomic commit.
+type SpecStore struct {
+	Addr  uint64
+	Value uint64
+}

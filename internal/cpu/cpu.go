@@ -1,0 +1,931 @@
+// Package cpu models the out-of-order processor core: a unified
+// RUU/LSQ window in the style of the paper's SimpleScalar-derived core
+// (Table 1: 256-entry RUU, 128-entry LSQ, 8-wide pipeline, 6 stages),
+// with tag-based wakeup, branch prediction, squash recovery, the
+// consumer half of LVP (speculative loads that cannot retire until
+// verified — the commit-pointer rule of §3.2), context-serializing
+// isync handling, and the SLE engine of §4 (in-core speculation
+// buffering bounded by a fraction of the RUU).
+package cpu
+
+import (
+	"fmt"
+
+	"tssim/internal/core"
+	"tssim/internal/isa"
+	"tssim/internal/mem"
+	"tssim/internal/predictor"
+	"tssim/internal/stats"
+)
+
+// MemSystem is the memory-side interface the core drives; implemented
+// by core.Controller and by fakes in tests.
+type MemSystem interface {
+	Load(seq uint64, addr uint64, isLL bool) core.LoadResult
+	StoreCommit(seq, pc, addr, val uint64) bool
+	SCExecute(seq, pc, addr, val uint64) bool
+	HasReservation(lineAddr uint64) bool
+	PrefetchExclusive(addr uint64)
+	HoldsWritable(addr uint64) bool
+	SLECommitStores(stores []core.SpecStore) bool
+	StoreBufEmpty() bool
+}
+
+// Config sizes the core. Zero values take the paper-flavored defaults
+// of DefaultConfig, scaled like the rest of the system.
+type Config struct {
+	FetchWidth  int // instructions fetched/dispatched per cycle
+	IssueWidth  int // instructions issued per cycle
+	CommitWidth int // instructions retired per cycle
+	PipeDepth   int // fetch-to-dispatch stages
+	RUUSize     int // unified window capacity
+	LSQSize     int // memory-op subwindow capacity
+	MemPorts    int // loads/stores issued to memory per cycle
+
+	SLE SLEConfig
+}
+
+// SLEConfig controls the speculative-lock-elision engine.
+type SLEConfig struct {
+	Enabled bool
+	// ROBFrac bounds the speculative critical section to this
+	// fraction of the RUU (the paper uses 0.5).
+	ROBFrac float64
+	// RestartLimit is the number of consecutive aborted attempts at
+	// one PC before one non-elided execution is forced.
+	RestartLimit int
+	// Params tunes the elision-confidence predictor; zero value takes
+	// predictor.DefaultElisionParams.
+	Params predictor.ElisionParams
+}
+
+// DefaultConfig returns a core matching the paper's Table 1 shape
+// (8-wide, 6-deep, 256/128 window) with 4 memory ports.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:  8,
+		IssueWidth:  8,
+		CommitWidth: 8,
+		PipeDepth:   6,
+		RUUSize:     256,
+		LSQSize:     128,
+		MemPorts:    4,
+		SLE:         SLEConfig{ROBFrac: 0.5, RestartLimit: 2},
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.FetchWidth <= 0 {
+		c.FetchWidth = d.FetchWidth
+	}
+	if c.IssueWidth <= 0 {
+		c.IssueWidth = d.IssueWidth
+	}
+	if c.CommitWidth <= 0 {
+		c.CommitWidth = d.CommitWidth
+	}
+	if c.PipeDepth <= 0 {
+		c.PipeDepth = d.PipeDepth
+	}
+	if c.RUUSize <= 0 {
+		c.RUUSize = d.RUUSize
+	}
+	if c.LSQSize <= 0 {
+		c.LSQSize = d.LSQSize
+	}
+	if c.MemPorts <= 0 {
+		c.MemPorts = d.MemPorts
+	}
+	if c.SLE.ROBFrac <= 0 {
+		c.SLE.ROBFrac = 0.5
+	}
+	if c.SLE.RestartLimit <= 0 {
+		c.SLE.RestartLimit = 2
+	}
+	return c
+}
+
+// entry is one RUU slot.
+type entry struct {
+	seq uint64
+	pc  int
+	ins isa.Instr
+
+	// Operand tracking: two source slots whose meaning depends on
+	// the op (base/value for stores, comparands for branches).
+	src      [2]uint64
+	srcReady [2]bool
+	srcProd  [2]uint64 // producing seq when not ready
+
+	issued    bool   // sent to a functional unit / memory
+	done      bool   // result available (broadcast happened)
+	doneAt    uint64 // cycle the result becomes available
+	executing bool   // between issue and doneAt
+	result    uint64
+
+	// Precomputed classification and readiness bookkeeping, so the
+	// per-cycle scheduler loops are O(1) per entry.
+	isLoad      bool
+	isStore     bool
+	isBranch    bool
+	needsAddr   bool // store whose address is not yet resolved
+	pendingSrcs int8 // count of not-yet-ready source operands
+
+	// Memory state.
+	effAddr   uint64
+	addrKnown bool
+	memSent   bool // request handed to the memory system
+	specVal   bool // LVP: value is speculative, retire blocked
+
+	// Branch state.
+	predTaken bool
+	predNext  int
+
+	// SC state.
+	scSent bool
+	scDone bool
+
+	// SLE: this entry was handled by an elided region commit.
+	elided bool
+}
+
+func (e *entry) srcCount() int {
+	switch e.ins.Op {
+	case isa.OpNop, isa.OpJmp, isa.OpISync, isa.OpHalt:
+		return 0
+	case isa.OpAddi, isa.OpShli, isa.OpShri, isa.OpSlti, isa.OpMix, isa.OpLd, isa.OpLL:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// operandRegs returns the architected registers feeding the two source
+// slots: slot 0 is Ra; slot 1 is Rb for ALU/branch ops and Rd (the
+// store value) for St/SC.
+func operandRegs(ins isa.Instr) [2]uint8 {
+	switch ins.Op {
+	case isa.OpSt, isa.OpSC:
+		return [2]uint8{ins.Ra, ins.Rd}
+	default:
+		return [2]uint8{ins.Ra, ins.Rb}
+	}
+}
+
+func (e *entry) ready() bool { return e.pendingSrcs == 0 }
+
+// fetchSlot is an instruction in the front-end pipeline.
+type fetchSlot struct {
+	pc      int
+	ins     isa.Instr
+	readyAt uint64
+	// Branch prediction made at fetch.
+	predTaken bool
+	predNext  int
+}
+
+// Core is one simulated CPU.
+type Core struct {
+	cfg      Config
+	id       int
+	prog     *isa.Program
+	memsys   MemSystem
+	counters *stats.Counters
+
+	now     uint64
+	nextSeq uint64
+
+	regs    [isa.NumRegs]uint64 // committed architected state
+	regProd [isa.NumRegs]*entry // latest in-flight producer per register
+
+	ruu     []*entry // program order, oldest first
+	lsqUsed int
+
+	// Scheduler fast-path bookkeeping.
+	numExecuting   int // entries between issue and completion
+	storesInFlight int // unretired stores in the window
+
+	fetchQ    []fetchSlot
+	fetchPC   int
+	fetchStop bool // halt fetched (or fetch redirected off the end)
+
+	bpred *bpred
+
+	// isync drain: dispatch stalls while a serializing instruction is
+	// in flight (outside an SLE region).
+	drainISync *entry
+
+	// LVP bookkeeping: seq -> entry for callback routing.
+	bySeq map[uint64]*entry
+
+	// Last committed load-locked, for SLE idiom detection.
+	lastLL struct {
+		valid bool
+		addr  uint64
+		value uint64
+	}
+
+	sle *sleEngine
+
+	halted  bool
+	retired uint64
+
+	// checker, when enabled, re-executes every committed instruction
+	// in order against the committed register file and panics on
+	// divergence (the PHARMsim-vs-SimOS validation idea).
+	checker bool
+
+	// OnCommit, when non-nil, observes every retired instruction in
+	// program order (tests and tracing).
+	OnCommit func(pc int, ins isa.Instr)
+
+	// OnCommitDebug additionally exposes captured operands and result.
+	OnCommitDebug func(seq uint64, pc int, ins isa.Instr, src0, src1, result uint64)
+}
+
+// New builds a core running prog against the given memory system. id
+// is used only for diagnostics.
+func New(cfg Config, id int, prog *isa.Program, m MemSystem, counters *stats.Counters) *Core {
+	cfg = cfg.withDefaults()
+	c := &Core{
+		cfg:      cfg,
+		id:       id,
+		prog:     prog,
+		memsys:   m,
+		counters: counters,
+		bpred:    newBpred(1024),
+		bySeq:    make(map[uint64]*entry),
+	}
+	if cfg.SLE.Enabled {
+		c.sle = newSLEEngine(c, cfg.SLE)
+	}
+	return c
+}
+
+// SetMemSystem binds the memory system after construction. The core
+// and its controller reference each other (the controller's client is
+// the core), so one side must be bound late; New accepts a nil m for
+// this purpose. It must be called before the first Tick.
+func (c *Core) SetMemSystem(m MemSystem) { c.memsys = m }
+
+// EnableChecker turns on in-order commit checking (tests).
+func (c *Core) EnableChecker() { c.checker = true }
+
+// Halted reports whether the program has fully retired its halt.
+func (c *Core) Halted() bool { return c.halted }
+
+// Retired returns the number of committed instructions.
+func (c *Core) Retired() uint64 { return c.retired }
+
+// Cycles returns the core's cycle count.
+func (c *Core) Cycles() uint64 { return c.now }
+
+// Reg returns a committed architected register (tests, results).
+func (c *Core) Reg(r int) uint64 { return c.regs[r] }
+
+// SLEStats exposes the elision engine (nil when disabled).
+func (c *Core) SLEStats() *sleEngine { return c.sle }
+
+func (c *Core) count(name string) { c.counters.Inc(name) }
+
+// Tick advances the core one cycle.
+func (c *Core) Tick(now uint64) {
+	c.now = now
+	if c.halted {
+		return
+	}
+	c.commit()
+	c.complete()
+	c.issue()
+	c.dispatch()
+	c.fetch()
+}
+
+// ---------------------------------------------------------------------------
+// Commit
+// ---------------------------------------------------------------------------
+
+func (c *Core) commit() {
+	if c.sle != nil && c.sle.speculating() {
+		// While an elision is live the commit pointer is frozen at
+		// the region head; the engine decides when the whole region
+		// commits atomically (or aborts).
+		c.sle.tick()
+		return
+	}
+	for n := 0; n < c.cfg.CommitWidth && len(c.ruu) > 0; n++ {
+		e := c.ruu[0]
+		if !e.done || e.specVal {
+			return
+		}
+		if e.ins.Op == isa.OpSt {
+			// The store performs at retirement; a full store buffer
+			// stalls commit.
+			if !c.memsys.StoreCommit(e.seq, uint64(e.pc), e.effAddr, e.src[1]) {
+				return
+			}
+		}
+		c.retireHead()
+	}
+}
+
+// retireHead retires ruu[0] into architected state.
+func (c *Core) retireHead() {
+	e := c.ruu[0]
+	c.ruu = c.ruu[1:]
+	if e.isStore {
+		c.storesInFlight--
+	}
+	if e.executing {
+		c.numExecuting--
+	}
+	if c.OnCommit != nil {
+		c.OnCommit(e.pc, e.ins)
+	}
+	if c.OnCommitDebug != nil {
+		c.OnCommitDebug(e.seq, e.pc, e.ins, e.src[0], e.src[1], e.result)
+	}
+	if e.ins.IsMem() {
+		c.lsqUsed--
+	}
+	delete(c.bySeq, e.seq)
+	if rd, ok := e.ins.WritesReg(); ok {
+		c.regs[rd] = e.result
+		if c.regProd[rd] == e {
+			c.regProd[rd] = nil
+		}
+	}
+	if e.ins.Op == isa.OpLL {
+		c.lastLL.valid = true
+		c.lastLL.addr = e.effAddr
+		c.lastLL.value = e.result
+	}
+	if c.drainISync == e {
+		c.drainISync = nil
+	}
+	if e.ins.Op == isa.OpHalt {
+		c.halted = true
+	}
+	if e.isLoad {
+		c.count("cpu/loads")
+	} else if e.isStore {
+		c.count("cpu/stores")
+	}
+	c.retired++
+	if c.checker {
+		c.checkCommit(e)
+	}
+}
+
+// checkCommit re-executes the instruction in order and compares. Loads
+// and SCs use the out-of-order value (memory order is the bus's to
+// define); everything else must match a pure in-order evaluation.
+func (c *Core) checkCommit(e *entry) {
+	ins := e.ins
+	if ins.IsMem() || ins.IsBranch() || ins.Op == isa.OpNop ||
+		ins.Op == isa.OpISync || ins.Op == isa.OpHalt {
+		return
+	}
+	want := isa.EvalALU(ins, e.src[0], e.src[1])
+	if want != e.result {
+		panic(fmt.Sprintf("cpu%d: checker divergence at pc %d (%s): got %d want %d",
+			c.id, e.pc, isa.Disassemble(e.pc, ins), e.result, want))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Complete / wakeup
+// ---------------------------------------------------------------------------
+
+func (c *Core) complete() {
+	if c.numExecuting == 0 {
+		return
+	}
+	// Indexed loop, not range: resolving a mispredicted branch
+	// squashes every younger entry, truncating c.ruu. Ranging over
+	// the pre-squash slice would keep visiting the dead wrong-path
+	// entries — and a dead branch "resolving" would redirect fetch to
+	// a wrong-path target.
+	for i := 0; i < len(c.ruu); i++ {
+		e := c.ruu[i]
+		if e.executing && e.doneAt <= c.now {
+			e.executing = false
+			c.numExecuting--
+			e.done = true
+			c.broadcast(e)
+			if e.isBranch {
+				c.resolveBranch(e)
+			}
+		}
+	}
+}
+
+// broadcast wakes consumers of e's destination register.
+func (c *Core) broadcast(e *entry) {
+	if _, ok := e.ins.WritesReg(); !ok {
+		return
+	}
+	for _, w := range c.ruu {
+		if w.seq <= e.seq {
+			continue
+		}
+		n := w.srcCount()
+		for i := 0; i < n; i++ {
+			if !w.srcReady[i] && w.srcProd[i] == e.seq {
+				w.srcReady[i] = true
+				w.src[i] = e.result
+				w.pendingSrcs--
+			}
+		}
+	}
+}
+
+func (c *Core) resolveBranch(e *entry) {
+	taken := isa.BranchTaken(e.ins, e.src[0], e.src[1])
+	next := e.pc + 1
+	if taken {
+		next = int(e.ins.Target)
+	}
+	c.bpred.update(e.pc, taken)
+	if taken == e.predTaken && (!taken || next == e.predNext) {
+		return
+	}
+	c.count("cpu/branch_mispredict")
+	c.squashAfter(e.seq, next)
+}
+
+// ---------------------------------------------------------------------------
+// Squash
+// ---------------------------------------------------------------------------
+
+// squashAfter kills every entry younger than seq and redirects fetch.
+func (c *Core) squashAfter(seq uint64, newPC int) {
+	keep := c.ruu[:0]
+	for _, e := range c.ruu {
+		if e.seq <= seq {
+			keep = append(keep, e)
+		} else {
+			delete(c.bySeq, e.seq)
+			if e.ins.IsMem() {
+				c.lsqUsed--
+			}
+			if e.isStore {
+				c.storesInFlight--
+			}
+			if e.executing {
+				c.numExecuting--
+			}
+			if c.drainISync == e {
+				c.drainISync = nil
+			}
+		}
+	}
+	c.ruu = keep
+	c.fetchQ = c.fetchQ[:0]
+	c.fetchPC = newPC
+	c.fetchStop = false
+	c.rebuildRename()
+	if c.sle != nil {
+		c.sle.onSquash(seq)
+	}
+	c.count("cpu/squash")
+}
+
+// SquashFromSeq kills the entry with the given seq and everything
+// younger, re-fetching from that instruction (LVP misprediction
+// recovery).
+func (c *Core) squashFromSeq(seq uint64) {
+	e, ok := c.bySeq[seq]
+	if !ok {
+		return
+	}
+	c.squashAfter(seq-1, e.pc)
+}
+
+func (c *Core) rebuildRename() {
+	for i := range c.regProd {
+		c.regProd[i] = nil
+	}
+	for _, e := range c.ruu {
+		if rd, ok := e.ins.WritesReg(); ok {
+			c.regProd[rd] = e
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Issue / execute
+// ---------------------------------------------------------------------------
+
+func (c *Core) issue() {
+	issued, memIssued := 0, 0
+	for idx, e := range c.ruu {
+		if issued >= c.cfg.IssueWidth {
+			return
+		}
+		// Store addresses resolve as soon as the base register is
+		// ready, independent of the data operand — real LSQs compute
+		// them separately, and the SLE release scan and load
+		// disambiguation both depend on early address resolution.
+		if e.needsAddr && e.srcReady[0] {
+			e.effAddr = isa.EffAddr(e.ins, e.src[0])
+			e.addrKnown = true
+			e.needsAddr = false
+			if c.sle != nil && e.ins.Op == isa.OpSt {
+				c.sle.onStoreResolved(e)
+			}
+		}
+		if e.issued || e.done || e.pendingSrcs != 0 {
+			continue
+		}
+		switch {
+		case e.isLoad:
+			if memIssued >= c.cfg.MemPorts {
+				continue
+			}
+			if c.issueLoad(e) {
+				issued++
+				memIssued++
+			}
+		case e.ins.Op == isa.OpSt:
+			// Stores "execute" once address and data are known; the
+			// write happens at retirement.
+			e.issued = true
+			e.done = true
+			e.result = 0
+			issued++
+		case e.ins.Op == isa.OpSC:
+			// SC executes only at the head of the window (a
+			// serialization the real stwcx. shares); handled below.
+			if idx == 0 && !e.scSent {
+				c.issueSC(e)
+			}
+		case e.isBranch || e.ins.Op == isa.OpNop || e.ins.Op == isa.OpISync || e.ins.Op == isa.OpHalt:
+			e.issued = true
+			e.executing = true
+			c.numExecuting++
+			e.doneAt = c.now + uint64(e.ins.BaseLatency())
+			issued++
+		default: // ALU
+			e.issued = true
+			e.executing = true
+			c.numExecuting++
+			e.doneAt = c.now + uint64(e.ins.BaseLatency())
+			e.result = isa.EvalALU(e.ins, e.src[0], e.src[1])
+			issued++
+		}
+	}
+}
+
+// issueSC starts a store-conditional at the window head: either the
+// SLE engine elides it, or it goes to the memory system.
+func (c *Core) issueSC(e *entry) {
+	if c.sle != nil && c.sle.tryStart(e) {
+		return // elided: engine completed the SC
+	}
+	// Mark before the call: a memory system is allowed to answer
+	// SCDone synchronously.
+	e.scSent = true
+	if c.memsys.SCExecute(e.seq, uint64(e.pc), e.effAddr, e.src[1]) {
+		c.count("cpu/sc_issued")
+	} else {
+		e.scSent = false // store buffer full; retry next cycle
+	}
+}
+
+// issueLoad tries to issue one load; returns true if it consumed a
+// port. Conservative LSQ disambiguation: the load waits for all older
+// store addresses, forwards from an exact match, and otherwise goes to
+// memory.
+func (c *Core) issueLoad(e *entry) bool {
+	e.effAddr = isa.EffAddr(e.ins, e.src[0])
+	e.addrKnown = true
+	// Find the youngest older store to the same word; any unresolved
+	// older store address stalls the load (conservative
+	// disambiguation).
+	// Failed SCs are transparent (they wrote nothing); unresolved SCs
+	// stall the load — forwarding past one would bet on its outcome.
+	var fwd *entry
+	if c.storesInFlight == 0 {
+		goto toMemory
+	}
+	for _, s := range c.ruu {
+		if s.seq >= e.seq {
+			break
+		}
+		if !s.isStore {
+			continue
+		}
+		if !s.addrKnown {
+			return false // unresolved older store address: stall
+		}
+		if s.effAddr != e.effAddr {
+			continue
+		}
+		if s.ins.Op == isa.OpSC {
+			if !s.done {
+				return false
+			}
+			if s.result == 0 {
+				continue // failed SC: transparent
+			}
+		}
+		fwd = s // youngest match so far wins
+	}
+	if fwd != nil {
+		if !fwd.srcReady[1] {
+			return false // matching store, data not ready
+		}
+		e.issued = true
+		e.executing = true
+		c.numExecuting++
+		e.doneAt = c.now + 1
+		e.result = fwd.src[1]
+		c.count("cpu/lsq_forward")
+		if c.sle != nil {
+			c.sle.onLoadIssued(e)
+		}
+		return true
+	}
+toMemory:
+	r := c.memsys.Load(e.seq, e.effAddr, e.ins.Op == isa.OpLL)
+	switch r.Status {
+	case core.LoadRetry:
+		return false
+	case core.LoadHit:
+		e.issued = true
+		e.executing = true
+		c.numExecuting++
+		e.doneAt = c.now + uint64(r.Lat)
+		e.result = r.Value
+	case core.LoadSpec:
+		e.issued = true
+		e.executing = true
+		c.numExecuting++
+		e.doneAt = c.now + uint64(r.Lat)
+		e.result = r.Value
+		e.specVal = true
+		c.count("cpu/load_spec")
+	case core.LoadMiss:
+		e.issued = true
+		e.memSent = true
+		// Completion arrives via LoadDone.
+	}
+	if c.sle != nil {
+		c.sle.onLoadIssued(e)
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch / fetch
+// ---------------------------------------------------------------------------
+
+func (c *Core) dispatch() {
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if len(c.fetchQ) == 0 || c.fetchQ[0].readyAt > c.now {
+			return
+		}
+		if len(c.ruu) >= c.cfg.RUUSize {
+			c.count("cpu/ruu_full")
+			return
+		}
+		slot := c.fetchQ[0]
+		if slot.ins.IsMem() && c.lsqUsed >= c.cfg.LSQSize {
+			c.count("cpu/lsq_full")
+			return
+		}
+		// A serializing isync blocks younger dispatch until it
+		// commits — unless the SLE engine is speculating through it
+		// (§4.2.2's safety-check mechanism): a *safe* isync inside
+		// the elision region does not drain. (An unsafe one aborts
+		// the region at tryStart or dispatch time.)
+		if c.drainISync != nil {
+			speculatingThrough := c.sle != nil && c.sle.speculating() &&
+				c.drainISync.seq > c.sle.scEntry.seq && !c.drainISync.ins.Unsafe
+			if !speculatingThrough {
+				return
+			}
+		}
+		c.fetchQ = c.fetchQ[1:]
+		c.dispatchOne(slot)
+	}
+}
+
+func (c *Core) dispatchOne(slot fetchSlot) {
+	c.nextSeq++
+	e := &entry{seq: c.nextSeq, pc: slot.pc, ins: slot.ins,
+		predTaken: slot.predTaken, predNext: slot.predNext}
+	e.isLoad = slot.ins.IsLoad()
+	e.isStore = slot.ins.IsStore()
+	e.isBranch = slot.ins.IsBranch()
+	e.needsAddr = e.isStore
+	regs := operandRegs(slot.ins)
+	n := e.srcCount()
+	for i := 0; i < n; i++ {
+		r := regs[i]
+		if r == 0 {
+			e.srcReady[i] = true
+			continue
+		}
+		if p := c.regProd[r]; p != nil {
+			if p.done {
+				e.src[i] = p.result
+				e.srcReady[i] = true
+			} else {
+				e.srcProd[i] = p.seq
+				e.pendingSrcs++
+			}
+		} else {
+			e.src[i] = c.regs[r]
+			e.srcReady[i] = true
+		}
+	}
+	if e.isStore {
+		c.storesInFlight++
+	}
+	if rd, ok := slot.ins.WritesReg(); ok {
+		c.regProd[rd] = e
+	}
+	if slot.ins.IsMem() {
+		c.lsqUsed++
+	}
+	if slot.ins.Op == isa.OpISync {
+		inSLE := c.sle != nil && c.sle.speculating()
+		if inSLE {
+			if slot.ins.Unsafe {
+				c.sle.onUnsafeISync()
+			}
+			// Safe isync inside an elision region does not drain.
+		} else {
+			c.drainISync = e
+		}
+	}
+	c.ruu = append(c.ruu, e)
+	c.bySeq[e.seq] = e
+}
+
+func (c *Core) fetch() {
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if c.fetchStop {
+			return
+		}
+		if len(c.fetchQ)+len(c.ruu) >= c.cfg.RUUSize {
+			return
+		}
+		ins := c.prog.At(c.fetchPC)
+		slot := fetchSlot{pc: c.fetchPC, ins: ins, readyAt: c.now + uint64(c.cfg.PipeDepth)}
+		next := c.fetchPC + 1
+		if ins.IsBranch() {
+			taken := c.bpred.predict(c.fetchPC, ins)
+			slot.predTaken = taken
+			if taken {
+				slot.predNext = int(ins.Target)
+				next = int(ins.Target)
+			} else {
+				slot.predNext = c.fetchPC + 1
+			}
+		}
+		if ins.Op == isa.OpHalt {
+			c.fetchStop = true
+		}
+		c.fetchQ = append(c.fetchQ, slot)
+		c.fetchPC = next
+	}
+}
+
+// ---------------------------------------------------------------------------
+// core.Client implementation (controller callbacks)
+// ---------------------------------------------------------------------------
+
+// LoadDone implements core.Client.
+func (c *Core) LoadDone(seq uint64, value uint64) {
+	e, ok := c.bySeq[seq]
+	if !ok || !e.memSent || e.done {
+		return // squashed or stale
+	}
+	e.result = value
+	e.executing = true
+	c.numExecuting++
+	e.doneAt = c.now
+	e.memSent = false
+}
+
+// LoadsVerified implements core.Client: LVP predictions confirmed;
+// the loads may now retire.
+func (c *Core) LoadsVerified(seqs []uint64) {
+	for _, s := range seqs {
+		if e, ok := c.bySeq[s]; ok {
+			e.specVal = false
+		}
+	}
+}
+
+// SquashSpec implements core.Client (LVP value misprediction): squash
+// from the oldest of the named ops that is still in flight. Ops
+// already killed by earlier squashes were re-fetched clean and their
+// replacements carry no speculative value from the failed line, so a
+// fully dead list is a no-op.
+func (c *Core) SquashSpec(seqs []uint64) {
+	var oldest uint64
+	found := false
+	for _, s := range seqs {
+		if _, ok := c.bySeq[s]; ok && (!found || s < oldest) {
+			oldest = s
+			found = true
+		}
+	}
+	if !found {
+		return
+	}
+	c.count("cpu/lvp_squash")
+	c.squashFromSeq(oldest)
+}
+
+// SCDone implements core.Client.
+func (c *Core) SCDone(seq uint64, success bool) {
+	e, ok := c.bySeq[seq]
+	if !ok || !e.scSent {
+		return
+	}
+	e.scDone = true
+	e.executing = true
+	c.numExecuting++
+	e.doneAt = c.now
+	if success {
+		e.result = 1
+	} else {
+		e.result = 0
+	}
+}
+
+// ExternalSnoop implements core.Client: routed to the SLE engine for
+// atomicity-violation detection, and implements the MIPS R10K-style
+// speculative-load replay that the machine's sequential-consistency
+// model requires (Table 1, [35]/[13]): a snooped invalidation hitting
+// a line read by a not-yet-retired load squashes that load and
+// everything younger, forcing it to re-execute and observe the write.
+func (c *Core) ExternalSnoop(lineAddr uint64, isWrite bool) {
+	if c.sle != nil {
+		c.sle.onSnoop(lineAddr, isWrite)
+	}
+	if !isWrite {
+		return
+	}
+	for _, e := range c.ruu {
+		if !e.ins.IsLoad() || !e.addrKnown || mem.LineAddr(e.effAddr) != lineAddr {
+			continue
+		}
+		if e.done || e.executing || e.memSent {
+			c.count("cpu/load_replay")
+			c.squashFromSeq(e.seq)
+			return
+		}
+	}
+}
+
+// windowAfter returns the RUU entries at and after the given seq
+// (oldest first) — the SLE engine's view of its region.
+func (c *Core) windowAfter(seq uint64) []*entry {
+	for i, e := range c.ruu {
+		if e.seq >= seq {
+			return c.ruu[i:]
+		}
+	}
+	return nil
+}
+
+var _ core.Client = (*Core)(nil)
+var _ = mem.LineAddr // referenced by sle.go via this package
+
+// DebugSLE renders the SLE engine's last-abort diagnostics (debug aid).
+func (c *Core) DebugSLE() string {
+	if c.sle == nil {
+		return "no sle"
+	}
+	return c.sle.debugLast
+}
+
+// DebugState renders the core's window for deadlock diagnostics.
+func (c *Core) DebugState() string {
+	out := fmt.Sprintf("cpu%d halted=%v retired=%d fetchPC=%d fetchQ=%d drain=%v ruu=%d lsq=%d\n",
+		c.id, c.halted, c.retired, c.fetchPC, len(c.fetchQ), c.drainISync != nil, len(c.ruu), c.lsqUsed)
+	if c.sle != nil {
+		out += fmt.Sprintf("  sle active=%v", c.sle.active)
+		if c.sle.active {
+			out += fmt.Sprintf(" lock=%#x orig=%d", c.sle.lockAddr, c.sle.origVal)
+		}
+		out += "\n"
+	}
+	for i, e := range c.ruu {
+		if i >= 12 {
+			out += "  ...\n"
+			break
+		}
+		out += fmt.Sprintf("  [%d] seq=%d pc=%d %s done=%v issued=%v memSent=%v scSent=%v spec=%v addr=%#x ready=%v,%v\n",
+			i, e.seq, e.pc, isa.Disassemble(e.pc, e.ins), e.done, e.issued, e.memSent, e.scSent,
+			e.specVal, e.effAddr, e.srcReady[0], e.srcReady[1])
+	}
+	return out
+}

@@ -1,0 +1,354 @@
+package cpu
+
+import (
+	"fmt"
+
+	"tssim/internal/core"
+	"tssim/internal/isa"
+	"tssim/internal/mem"
+	"tssim/internal/predictor"
+)
+
+// sleEngine implements speculative lock elision (§4) with in-core
+// buffering: the reorder buffer is the speculation buffer, so critical
+// sections are bounded by a fraction of the RUU (§4.2.1). The elision
+// idiom is the load-locked/store-conditional pair (§4.1); the
+// store-conditional is elided at the window head, every instruction
+// until the reverting (release) store is held uncommitted, and the
+// whole region retires atomically once the release resolves and the
+// write set is exclusively held.
+type sleEngine struct {
+	core *Core
+	cfg  SLEConfig
+	pred *predictor.ElisionPredictor
+
+	active   bool
+	scEntry  *entry
+	lockAddr uint64 // word address of the elided lock
+	lockLine uint64
+	origVal  uint64 // pre-acquire lock value the release must restore
+
+	readSet  map[uint64]bool // lines read inside the region
+	writeSet map[uint64]bool // lines speculatively written
+
+	consecFails  map[uint64]int // per-PC consecutive aborts
+	suppressOnce map[uint64]bool
+	debugLast    string
+
+	maxRegion int // RUU-entry bound for the region
+}
+
+func newSLEEngine(c *Core, cfg SLEConfig) *sleEngine {
+	p := cfg.Params
+	if p.SatMax == 0 {
+		p = predictor.DefaultElisionParams()
+	}
+	return &sleEngine{
+		core:         c,
+		cfg:          cfg,
+		pred:         predictor.NewElisionPredictor(p),
+		consecFails:  make(map[uint64]int),
+		suppressOnce: make(map[uint64]bool),
+		maxRegion:    int(cfg.ROBFrac * float64(c.cfg.RUUSize)),
+	}
+}
+
+func (s *sleEngine) speculating() bool { return s.active }
+
+// Predictor exposes the elision-confidence predictor (tests).
+func (s *sleEngine) Predictor() *predictor.ElisionPredictor { return s.pred }
+
+// tryStart is called when a store-conditional reaches the window head.
+// If the idiom matches and confidence allows, the SC is elided: it
+// completes immediately with success and the engine goes speculative.
+func (s *sleEngine) tryStart(e *entry) bool {
+	if s.active {
+		return false // cannot nest
+	}
+	// Idiom: the most recent committed load-locked targeted the same
+	// address (§4.1). Without it there is no known pre-acquire value
+	// to revert to.
+	if !s.core.lastLL.valid || s.core.lastLL.addr != e.effAddr {
+		s.core.count("sle/idiom_miss")
+		return false
+	}
+	// The reservation must still be live: a remote write to the lock
+	// between the LL and this SC means the observed pre-acquire value
+	// is stale — most often because another processor just took the
+	// lock for real. Eliding anyway would run this critical section
+	// concurrently with a held lock. (A real SC would simply fail
+	// here; declining sends it down exactly that path.)
+	if !s.core.memsys.HasReservation(e.effAddr) {
+		s.core.count("sle/reservation_lost")
+		return false
+	}
+	pc := uint64(e.pc)
+	if s.suppressOnce[pc] {
+		delete(s.suppressOnce, pc)
+		s.core.count("sle/suppressed_once")
+		return false
+	}
+	if !s.pred.ShouldAttempt(pc) {
+		s.core.count("sle/filtered")
+		return false
+	}
+	// Instructions younger than the SC are already in the window
+	// (dispatch ran ahead while the SC waited to reach the head). An
+	// unsafe context-serializing instruction among them dooms the
+	// region before it starts (§4.2.2): decline and train down.
+	for _, w := range s.core.windowAfter(e.seq)[1:] {
+		if w.isBranch && !w.done {
+			break // beyond an unresolved branch lies speculation
+		}
+		if w.ins.Op == isa.OpISync && w.ins.Unsafe {
+			s.pred.Record(pc, predictor.ElisionUnsafe)
+			s.core.count("sle/abort_unsafe")
+			return false
+		}
+	}
+	s.active = true
+	s.scEntry = e
+	s.lockAddr = e.effAddr
+	s.lockLine = mem.LineAddr(e.effAddr)
+	s.origVal = s.core.lastLL.value
+	s.readSet = map[uint64]bool{s.lockLine: true}
+	s.writeSet = map[uint64]bool{}
+	// Seed the sets from operations already resolved in the window:
+	// dispatch and issue ran ahead while the SC waited to reach the
+	// head, so parts of the critical section may have executed before
+	// the engine went live.
+	for _, w := range s.core.windowAfter(e.seq)[1:] {
+		if !w.addrKnown {
+			continue
+		}
+		line := mem.LineAddr(w.effAddr)
+		if w.ins.IsLoad() {
+			s.readSet[line] = true
+		} else if w.ins.Op == isa.OpSt && w.effAddr != s.lockAddr {
+			s.writeSet[line] = true
+		}
+	}
+	// The SC appears to succeed instantly, with no coherence action:
+	// the acquire is never made visible.
+	e.done = true
+	e.elided = true
+	e.result = 1
+	s.core.broadcast(e)
+	s.core.count("sle/attempt")
+	return true
+}
+
+// onLoadIssued and onStoreResolved build the region's read and write
+// sets as addresses resolve.
+func (s *sleEngine) onLoadIssued(e *entry) {
+	if s.active && e.seq > s.scEntry.seq {
+		s.readSet[mem.LineAddr(e.effAddr)] = true
+	}
+}
+
+func (s *sleEngine) onStoreResolved(e *entry) {
+	if s.active && e.seq > s.scEntry.seq && e.effAddr != s.lockAddr {
+		s.writeSet[mem.LineAddr(e.effAddr)] = true
+	}
+}
+
+// onSnoop aborts on atomicity violations: an external write touching
+// anything the region read or wrote, or an external read of a line the
+// region speculatively wrote.
+func (s *sleEngine) onSnoop(lineAddr uint64, isWrite bool) {
+	if !s.active {
+		return
+	}
+	if isWrite && (s.readSet[lineAddr] || s.writeSet[lineAddr]) {
+		s.abort(predictor.ElisionConflict)
+		return
+	}
+	if !isWrite && s.writeSet[lineAddr] {
+		s.abort(predictor.ElisionConflict)
+	}
+}
+
+// onUnsafeISync aborts when a context-serializing instruction whose
+// following code touches non-renamed state enters the region (§4.2.2).
+func (s *sleEngine) onUnsafeISync() {
+	if s.active {
+		s.abort(predictor.ElisionUnsafe)
+	}
+}
+
+// onSquash observes core squashes. If the elided SC itself was killed
+// (e.g. an LVP misprediction older than a region instruction squashed
+// through it — impossible — or a branch inside the region whose
+// resolution refetches the SC), the region evaporates without a
+// predictor update: it was never judged.
+func (s *sleEngine) onSquash(keepThrough uint64) {
+	if s.active && s.scEntry.seq > keepThrough {
+		s.active = false
+	}
+}
+
+// tick drives the speculating region: enforces the size bound, scans
+// for the release store, prefetches exclusive ownership of the write
+// set, and atomically commits when everything is ready.
+func (s *sleEngine) tick() {
+	if !s.active {
+		return
+	}
+	region := s.core.windowAfter(s.scEntry.seq)
+	if len(region) == 0 || region[0] != s.scEntry {
+		// Defensive: the region head must be the frozen commit point.
+		s.active = false
+		return
+	}
+
+	// Scan program order for the release: the first resolved store to
+	// the lock word. A different value means the "critical section"
+	// is not a temporally silent pair — give up. The scan cannot see
+	// past an unresolved store (it might target the lock), so the
+	// *resolved frontier* is what the size bound below applies to:
+	// entries the window speculates past while waiting for a stalled
+	// store inside the critical section do not count against the
+	// bound until that store resolves.
+	var release *entry
+	releaseIdx := -1
+	frontier := len(region)
+	for i, e := range region[1:] {
+		if e.isBranch && !e.done {
+			// Instructions beyond an unresolved branch are wrong-path
+			// candidates (e.g. the backoff arm of the SC-failure
+			// branch, which contains another SC); the scan must not
+			// classify the region from them.
+			frontier = i + 1
+			break
+		}
+		if e.ins.Op == isa.OpSC || e.ins.Op == isa.OpHalt {
+			// A nested SC can never execute (it would need the
+			// frozen head); halt inside a region is malformed.
+			// Either way this region will not find its release.
+			s.abort(predictor.ElisionNoRelease)
+			return
+		}
+		if e.ins.Op == isa.OpISync && e.ins.Unsafe {
+			// An unsafe serializing instruction that was dispatched
+			// before the elision started (hidden behind a then-
+			// unresolved branch at tryStart). It blocks dispatch
+			// while outside-region rules apply, so the region could
+			// never grow to its release: give up now (§4.2.2).
+			s.abort(predictor.ElisionUnsafe)
+			return
+		}
+		if e.ins.Op != isa.OpSt {
+			continue
+		}
+		if !e.addrKnown {
+			frontier = i + 1 // cannot see past an unresolved store
+			break
+		}
+		if e.effAddr != s.lockAddr {
+			continue
+		}
+		if !e.srcReady[1] {
+			frontier = i + 1 // store data not known yet
+			break
+		}
+		if e.src[1] != s.origVal {
+			s.abort(predictor.ElisionNoRelease)
+			return
+		}
+		release = e
+		releaseIdx = i + 1
+		break
+	}
+
+	// §4.2.1's ROB-threshold bound on the speculative critical
+	// section. A release beyond the bound (or none within it) fails:
+	// overflow when we know the section was real but too large,
+	// no-release when the resolved code simply never reverts the lock
+	// (the atomic fetch-and-add false positive).
+	if release != nil {
+		if releaseIdx >= s.maxRegion {
+			s.abort(predictor.ElisionOverflow)
+			return
+		}
+	} else if frontier >= s.maxRegion {
+		s.abort(predictor.ElisionNoRelease)
+		return
+	} else if len(region) >= s.core.cfg.RUUSize {
+		// The window is completely full and the release is not in
+		// it: no progress is possible with in-core buffering.
+		s.abort(predictor.ElisionOverflow)
+		return
+	}
+
+	// Exclusive prefetch of the resolved write set (§5.1.3's
+	// "coherence transactions introduced to create atomic regions").
+	for line := range s.writeSet {
+		if !s.core.memsys.HoldsWritable(line) {
+			s.core.memsys.PrefetchExclusive(line)
+		}
+	}
+
+	if release == nil {
+		return
+	}
+	// Atomic commit requires every instruction in the region through
+	// the release to be complete and non-speculative.
+	var stores []core.SpecStore
+	for _, e := range region[:releaseIdx+1] {
+		if !e.done || e.specVal {
+			return
+		}
+		if e.ins.Op == isa.OpSt && e != release {
+			stores = append(stores, core.SpecStore{Addr: e.effAddr, Value: e.src[1]})
+		}
+	}
+	if !s.core.memsys.SLECommitStores(stores) {
+		return // not all lines writable yet; prefetches are in flight
+	}
+	// Bulk retire the region: the acquire/release pair vanishes (a
+	// collapsed atomic silent store-pair), the data stores just
+	// performed, everything else updates architected state normally.
+	pc := uint64(s.scEntry.pc)
+	for i := 0; i <= releaseIdx; i++ {
+		s.core.retireHead()
+	}
+	s.active = false
+	s.pred.Record(pc, predictor.ElisionSuccess)
+	s.consecFails[pc] = 0
+	s.core.count("sle/success")
+}
+
+// abort ends the attempt: record the outcome, squash back to the SC,
+// and re-execute it for real (possibly suppressed for one attempt
+// after repeated failures — the restart threshold of [29]).
+func (s *sleEngine) abort(outcome predictor.ElisionOutcome) {
+	s.debugLast = s.debugRegion(outcome.String())
+	pc := uint64(s.scEntry.pc)
+	scSeq := s.scEntry.seq
+	scPC := s.scEntry.pc
+	s.active = false
+	s.pred.Record(pc, outcome)
+	s.consecFails[pc]++
+	if s.consecFails[pc] >= s.cfg.RestartLimit {
+		s.suppressOnce[pc] = true
+		s.consecFails[pc] = 0
+	}
+	s.core.count("sle/abort_" + outcome.String())
+	s.core.squashAfter(scSeq-1, scPC)
+}
+
+// debugRegion renders the region for diagnostics.
+func (s *sleEngine) debugRegion(reason string) string {
+	out := fmt.Sprintf("abort=%s lock=%#x orig=%d region:\n", reason, s.lockAddr, s.origVal)
+	region := s.core.windowAfter(s.scEntry.seq)
+	for i, e := range region {
+		if i > 40 {
+			out += "...\n"
+			break
+		}
+		out += fmt.Sprintf("  [%d] pc=%d %s done=%v addrKnown=%v addr=%#x issued=%v srcReady=%v,%v src=%d,%d spec=%v\n",
+			i, e.pc, isa.Disassemble(e.pc, e.ins), e.done, e.addrKnown, e.effAddr, e.issued,
+			e.srcReady[0], e.srcReady[1], e.src[0], e.src[1], e.specVal)
+	}
+	return out
+}

@@ -1,0 +1,335 @@
+// Package isa defines the small RISC instruction set executed by the
+// simulated cores, together with an assembler-style program builder
+// and a disassembler.
+//
+// The ISA stands in for the paper's PowerPC environment. It is
+// deliberately tiny but covers everything the studied techniques care
+// about:
+//
+//   - word loads and stores (the sharing, silence, and LVP substrate),
+//   - load-locked / store-conditional (the lwarx/stwcx analogue whose
+//     idiom triggers speculative lock elision),
+//   - isync, the context-serializing instruction that protects AIX
+//     kernel lock routines and defeats naive SLE (§4.2.2 of the paper),
+//   - ALU ops with configurable latency and conditional branches so
+//     that workloads are genuine programs (spin loops, retries, and
+//     data-dependent paths), not traces.
+//
+// All memory operands are 8-byte aligned words.
+package isa
+
+import "fmt"
+
+// Op enumerates the instruction opcodes.
+type Op uint8
+
+// Opcode values. ALU operations compute Rd from Ra, Rb and/or Imm;
+// memory operations use Ra+Imm as the effective address.
+const (
+	OpNop Op = iota // no effect; Lat models non-memory work
+
+	// ALU register-register / register-immediate.
+	OpAdd  // Rd = Ra + Rb
+	OpAddi // Rd = Ra + Imm
+	OpSub  // Rd = Ra - Rb
+	OpMul  // Rd = Ra * Rb (long latency)
+	OpAnd  // Rd = Ra & Rb
+	OpOr   // Rd = Ra | Rb
+	OpXor  // Rd = Ra ^ Rb
+	OpShli // Rd = Ra << Imm
+	OpShri // Rd = Ra >> Imm (logical)
+	OpSlt  // Rd = (Ra < Rb) ? 1 : 0 (unsigned)
+	OpSlti // Rd = (Ra < Imm) ? 1 : 0 (unsigned)
+	OpMix  // Rd = splitmix64(Ra ^ Imm); deterministic pseudo-random
+
+	// Memory.
+	OpLd // Rd = MEM[Ra + Imm]
+	OpSt // MEM[Ra + Imm] = Rd
+	OpLL // Rd = MEM[Ra + Imm], set reservation on the line
+	OpSC // if reservation held: MEM[Ra+Imm] = Rd, Rb = 1 else Rb = 0
+
+	// Control.
+	OpBeq // if Ra == Rb goto Target
+	OpBne // if Ra != Rb goto Target
+	OpBlt // if Ra <  Rb goto Target (unsigned)
+	OpBge // if Ra >= Rb goto Target (unsigned)
+	OpJmp // goto Target
+
+	// Serialization and termination.
+	OpISync // context-serializing barrier (see Instr.Unsafe)
+	OpHalt  // stop this CPU's program
+
+	opCount
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpAdd: "add", OpAddi: "addi", OpSub: "sub", OpMul: "mul",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpShli: "shli", OpShri: "shri",
+	OpSlt: "slt", OpSlti: "slti", OpMix: "mix",
+	OpLd: "ld", OpSt: "st", OpLL: "ll", OpSC: "sc",
+	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge", OpJmp: "jmp",
+	OpISync: "isync", OpHalt: "halt",
+}
+
+// String returns the mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// NumRegs is the architected register-file size. Register 0 is
+// hardwired to zero, like MIPS/RISC-V.
+const NumRegs = 32
+
+// Reg names for readability in workload code.
+const (
+	R0 = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	R16
+	R17
+	R18
+	R19
+	R20
+	R21
+	R22
+	R23
+	R24
+	R25
+	R26
+	R27
+	R28
+	R29
+	R30
+	R31
+)
+
+// Instr is one decoded instruction. Programs are slices of Instr and
+// the PC is a slice index; Target is the branch destination index.
+type Instr struct {
+	Op     Op
+	Rd     uint8 // destination (or store-value source for OpSt/OpSC)
+	Ra     uint8 // first source (base register for memory ops)
+	Rb     uint8 // second source (SC success flag destination)
+	Imm    int64 // immediate / address displacement
+	Target int32 // branch target (program index)
+	Lat    uint8 // extra execute latency beyond the op's base latency
+
+	// Unsafe marks an OpISync whose following code would touch
+	// context-sensitive (non-renamed) processor state. The SLE
+	// safety-check mechanism of §4.2.2 can see through safe isyncs
+	// but must abort elision on unsafe ones. Synthetic "kernel"
+	// code sets this on a small fraction of isyncs.
+	Unsafe bool
+}
+
+// IsMem reports whether the instruction accesses memory.
+func (i Instr) IsMem() bool {
+	return i.Op == OpLd || i.Op == OpSt || i.Op == OpLL || i.Op == OpSC
+}
+
+// IsLoad reports whether the instruction reads memory into a register.
+func (i Instr) IsLoad() bool { return i.Op == OpLd || i.Op == OpLL }
+
+// IsStore reports whether the instruction may write memory.
+func (i Instr) IsStore() bool { return i.Op == OpSt || i.Op == OpSC }
+
+// IsBranch reports whether the instruction may redirect control flow.
+func (i Instr) IsBranch() bool {
+	switch i.Op {
+	case OpBeq, OpBne, OpBlt, OpBge, OpJmp:
+		return true
+	}
+	return false
+}
+
+// WritesReg reports whether the instruction writes a destination
+// register, and which one. SC writes its success flag into Rb.
+func (i Instr) WritesReg() (uint8, bool) {
+	switch i.Op {
+	case OpAdd, OpAddi, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShli, OpShri,
+		OpSlt, OpSlti, OpMix, OpLd, OpLL:
+		return i.Rd, i.Rd != 0
+	case OpSC:
+		return i.Rb, i.Rb != 0
+	}
+	return 0, false
+}
+
+// SrcRegs returns the architected source registers the instruction
+// reads. Memory ops read the base register; stores also read the value
+// register; branches read their comparands.
+func (i Instr) SrcRegs() []uint8 {
+	switch i.Op {
+	case OpNop, OpJmp, OpISync, OpHalt:
+		return nil
+	case OpAddi, OpShli, OpShri, OpSlti, OpMix:
+		return []uint8{i.Ra}
+	case OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpSlt:
+		return []uint8{i.Ra, i.Rb}
+	case OpLd, OpLL:
+		return []uint8{i.Ra}
+	case OpSt, OpSC:
+		return []uint8{i.Ra, i.Rd}
+	case OpBeq, OpBne, OpBlt, OpBge:
+		return []uint8{i.Ra, i.Rb}
+	}
+	return nil
+}
+
+// BaseLatency returns the execute latency of the op in cycles,
+// before Instr.Lat is added. Memory op latency is determined by the
+// memory system, so their base here is the address-generation cycle.
+func (i Instr) BaseLatency() int {
+	base := 1
+	if i.Op == OpMul {
+		base = 3
+	}
+	return base + int(i.Lat)
+}
+
+// splitmix64 is the mixing function behind OpMix. It is a pure
+// function so speculative re-execution after a squash reproduces the
+// same value.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// EvalALU computes the result of a non-memory, non-branch instruction
+// given its source operand values. It is shared by the out-of-order
+// execute stage and the in-order commit checker so both necessarily
+// agree on semantics.
+func EvalALU(i Instr, ra, rb uint64) uint64 {
+	switch i.Op {
+	case OpAdd:
+		return ra + rb
+	case OpAddi:
+		return ra + uint64(i.Imm)
+	case OpSub:
+		return ra - rb
+	case OpMul:
+		return ra * rb
+	case OpAnd:
+		return ra & rb
+	case OpOr:
+		return ra | rb
+	case OpXor:
+		return ra ^ rb
+	case OpShli:
+		return ra << (uint64(i.Imm) & 63)
+	case OpShri:
+		return ra >> (uint64(i.Imm) & 63)
+	case OpSlt:
+		if ra < rb {
+			return 1
+		}
+		return 0
+	case OpSlti:
+		if ra < uint64(i.Imm) {
+			return 1
+		}
+		return 0
+	case OpMix:
+		return splitmix64(ra ^ uint64(i.Imm))
+	}
+	return 0
+}
+
+// BranchTaken evaluates a branch's condition given its operand values.
+func BranchTaken(i Instr, ra, rb uint64) bool {
+	switch i.Op {
+	case OpBeq:
+		return ra == rb
+	case OpBne:
+		return ra != rb
+	case OpBlt:
+		return ra < rb
+	case OpBge:
+		return ra >= rb
+	case OpJmp:
+		return true
+	}
+	return false
+}
+
+// EffAddr computes a memory instruction's effective address, aligned
+// to the word granule.
+func EffAddr(i Instr, ra uint64) uint64 {
+	return (ra + uint64(i.Imm)) &^ 7
+}
+
+// Program is an assembled instruction sequence with a name for
+// reporting. PC 0 is the entry point.
+type Program struct {
+	Name string
+	Code []Instr
+}
+
+// At returns the instruction at pc. Running past the end behaves like
+// OpHalt.
+func (p *Program) At(pc int) Instr {
+	if pc < 0 || pc >= len(p.Code) {
+		return Instr{Op: OpHalt}
+	}
+	return p.Code[pc]
+}
+
+// Len returns the number of instructions.
+func (p *Program) Len() int { return len(p.Code) }
+
+// Disassemble renders one instruction at a given pc.
+func Disassemble(pc int, i Instr) string {
+	switch i.Op {
+	case OpNop, OpISync, OpHalt:
+		s := i.Op.String()
+		if i.Op == OpISync && i.Unsafe {
+			s += " (unsafe)"
+		}
+		if i.Lat > 0 {
+			s += fmt.Sprintf(" lat=%d", i.Lat)
+		}
+		return s
+	case OpAddi, OpShli, OpShri, OpSlti, OpMix:
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.Rd, i.Ra, i.Imm)
+	case OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpSlt:
+		return fmt.Sprintf("%s r%d, r%d, r%d", i.Op, i.Rd, i.Ra, i.Rb)
+	case OpLd, OpLL:
+		return fmt.Sprintf("%s r%d, %d(r%d)", i.Op, i.Rd, i.Imm, i.Ra)
+	case OpSt:
+		return fmt.Sprintf("st r%d, %d(r%d)", i.Rd, i.Imm, i.Ra)
+	case OpSC:
+		return fmt.Sprintf("sc r%d, %d(r%d), ok=r%d", i.Rd, i.Imm, i.Ra, i.Rb)
+	case OpBeq, OpBne, OpBlt, OpBge:
+		return fmt.Sprintf("%s r%d, r%d, @%d", i.Op, i.Ra, i.Rb, i.Target)
+	case OpJmp:
+		return fmt.Sprintf("jmp @%d", i.Target)
+	}
+	return fmt.Sprintf("%s ?", i.Op)
+}
+
+// Dump renders a whole program, one instruction per line.
+func (p *Program) Dump() string {
+	out := ""
+	for pc, ins := range p.Code {
+		out += fmt.Sprintf("%4d: %s\n", pc, Disassemble(pc, ins))
+	}
+	return out
+}

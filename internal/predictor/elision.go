@@ -1,0 +1,128 @@
+package predictor
+
+// ElisionOutcome classifies how an SLE attempt (or a pass on one)
+// ended. The paper's enhanced predictor (§4.2.3) applies different
+// confidence changes per failure mode, because the modes mean
+// different things: an idiom false positive (no release ever found) is
+// close to permanent for that static instruction, while a transient
+// data conflict says little about the idiom.
+type ElisionOutcome int
+
+// Elision outcomes.
+const (
+	ElisionSuccess   ElisionOutcome = iota // critical section elided atomically
+	ElisionNoRelease                       // no reverting store before the restart threshold (idiom imprecision)
+	ElisionConflict                        // remote request hit the speculative read/write set
+	ElisionOverflow                        // critical section exceeded the ROB threshold
+	ElisionUnsafe                          // context-serializing instruction touched unsafe state (§4.2.2)
+)
+
+// String names the outcome for counters.
+func (o ElisionOutcome) String() string {
+	switch o {
+	case ElisionSuccess:
+		return "success"
+	case ElisionNoRelease:
+		return "no_release"
+	case ElisionConflict:
+		return "conflict"
+	case ElisionOverflow:
+		return "overflow"
+	case ElisionUnsafe:
+		return "unsafe"
+	}
+	return "unknown"
+}
+
+// ElisionParams tunes the per-PC elision confidence predictor. All
+// update values were determined empirically in the paper; these
+// defaults encode the same intent: start willing, punish idiom
+// imprecision hard, forgive transient conflicts quickly.
+type ElisionParams struct {
+	InitConf  int // first-touch confidence
+	Threshold int // attempt elision when confidence >= Threshold
+	SatMax    int
+
+	SuccessInc   int // reward for a successful elision
+	NoReleasePen int // penalty for idiom false positives
+	ConflictPen  int // penalty for atomicity conflicts
+	OverflowPen  int // penalty for ROB-threshold overflows
+	UnsafePen    int // penalty for unsafe context serialization
+}
+
+// DefaultElisionParams returns the default tuning. Init sits one step
+// above the threshold so an unseen ll/sc pair gets optimistic attempts
+// and a single transient conflict does not permanently disable it,
+// while one hard failure (idiom false positive, unsafe serialization)
+// still does — the asymmetry §4.2.3 argues for.
+func DefaultElisionParams() ElisionParams {
+	return ElisionParams{
+		InitConf:     5,
+		Threshold:    4,
+		SatMax:       7,
+		SuccessInc:   1,
+		NoReleasePen: 3,
+		ConflictPen:  1,
+		OverflowPen:  2,
+		UnsafePen:    3,
+	}
+}
+
+// ElisionPredictor keeps hysteresis per static instruction (the PC of
+// the store-conditional that would start elision). The paper notes the
+// fundamental weakness it shares with any PC-indexed scheme: few
+// static instructions participate in locking when locks live in kernel
+// routines, so unrelated critical sections interfere. We reproduce
+// that faithfully by indexing on PC alone.
+type ElisionPredictor struct {
+	params  ElisionParams
+	entries map[uint64]int // pc -> confidence
+}
+
+// NewElisionPredictor builds a predictor with the given tuning.
+func NewElisionPredictor(p ElisionParams) *ElisionPredictor {
+	return &ElisionPredictor{params: p, entries: make(map[uint64]int)}
+}
+
+// Params returns the tuning in use.
+func (e *ElisionPredictor) Params() ElisionParams { return e.params }
+
+func (e *ElisionPredictor) conf(pc uint64) int {
+	if c, ok := e.entries[pc]; ok {
+		return c
+	}
+	return e.params.InitConf
+}
+
+// ShouldAttempt reports whether SLE should try to elide the critical
+// section starting at the given SC's PC.
+func (e *ElisionPredictor) ShouldAttempt(pc uint64) bool {
+	return e.conf(pc) >= e.params.Threshold
+}
+
+// Record updates confidence for the PC after an attempt's outcome.
+func (e *ElisionPredictor) Record(pc uint64, o ElisionOutcome) {
+	c := e.conf(pc)
+	switch o {
+	case ElisionSuccess:
+		c += e.params.SuccessInc
+	case ElisionNoRelease:
+		c -= e.params.NoReleasePen
+	case ElisionConflict:
+		c -= e.params.ConflictPen
+	case ElisionOverflow:
+		c -= e.params.OverflowPen
+	case ElisionUnsafe:
+		c -= e.params.UnsafePen
+	}
+	if c < 0 {
+		c = 0
+	}
+	if c > e.params.SatMax {
+		c = e.params.SatMax
+	}
+	e.entries[pc] = c
+}
+
+// Confidence exposes the per-PC confidence for tests.
+func (e *ElisionPredictor) Confidence(pc uint64) int { return e.conf(pc) }

@@ -1,0 +1,327 @@
+// Package sim assembles the full simulated multiprocessor — N
+// out-of-order cores, their cache/coherence controllers, the snooping
+// bus, and functional memory — and runs workloads on it, collecting
+// the statistics the paper's evaluation reports.
+//
+// It is the public face of the simulator: examples, the experiment
+// harness, and benchmarks drive everything through sim.Config /
+// sim.New / sim.Run and the multi-seed RunSample helper implementing
+// the confidence-interval methodology (§5.3, citing Alameldeen-Wood).
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tssim/internal/bus"
+	"tssim/internal/cache"
+	"tssim/internal/core"
+	"tssim/internal/cpu"
+	"tssim/internal/mem"
+	"tssim/internal/stale"
+	"tssim/internal/stats"
+	"tssim/internal/workload"
+)
+
+// Techniques selects which of the paper's mechanisms are active.
+// The zero value is the MOESI baseline.
+type Techniques struct {
+	MESTI  bool // T state + always-validate (the original MESTI)
+	EMESTI bool // MESTI + useful-validate coherence prediction
+	LVP    bool // load value prediction from tag-match invalid lines
+	SLE    bool // speculative lock elision
+}
+
+// String renders the combination the way the paper's figures label it.
+func (t Techniques) String() string {
+	switch {
+	case t.EMESTI && t.LVP && t.SLE:
+		return "E-MESTI+LVP+SLE"
+	case t.EMESTI && t.LVP:
+		return "E-MESTI+LVP"
+	case t.EMESTI && t.SLE:
+		return "E-MESTI+SLE"
+	case t.LVP && t.SLE:
+		return "LVP+SLE"
+	case t.EMESTI:
+		return "E-MESTI"
+	case t.MESTI:
+		return "MESTI"
+	case t.LVP:
+		return "LVP"
+	case t.SLE:
+		return "SLE"
+	default:
+		return "Baseline"
+	}
+}
+
+// AllCombos returns the nine configurations of Figure 7/8: baseline,
+// each technique alone (with E-MESTI standing beside plain MESTI), and
+// every combination of E-MESTI/LVP/SLE.
+func AllCombos() []Techniques {
+	return []Techniques{
+		{},
+		{MESTI: true},
+		{MESTI: true, EMESTI: true},
+		{LVP: true},
+		{SLE: true},
+		{MESTI: true, EMESTI: true, LVP: true},
+		{MESTI: true, EMESTI: true, SLE: true},
+		{LVP: true, SLE: true},
+		{MESTI: true, EMESTI: true, LVP: true, SLE: true},
+	}
+}
+
+// Config configures a whole system.
+type Config struct {
+	CPUs int
+	Core cpu.Config
+	Node core.Config
+	Bus  bus.Config
+	Tech Techniques
+
+	// Seed drives the latency jitter used by the multi-run
+	// confidence-interval methodology; JitterMax in Bus must be >0
+	// for runs to differ.
+	Seed int64
+
+	// MaxCycles bounds a run (0 = DefaultMaxCycles).
+	MaxCycles uint64
+
+	// CheckCommits enables the in-order commit checker on every core.
+	CheckCommits bool
+
+	// StaleDetector overrides the temporal-silence detector factory
+	// (per node); nil selects the perfect detector. Used by the
+	// Figure 6 experiment to plug in finite L1-Mirror/stale-storage
+	// mechanisms.
+	StaleDetector func(node int) stale.Detector
+}
+
+// DefaultMaxCycles bounds runaway workloads.
+const DefaultMaxCycles = 50_000_000
+
+// DefaultConfig returns the scaled 4-processor machine of Table 1.
+func DefaultConfig() Config {
+	return Config{
+		CPUs: 4,
+		Core: cpu.DefaultConfig(),
+		Node: core.DefaultConfig(),
+		Bus:  bus.DefaultConfig(),
+	}
+}
+
+// ExperimentConfig returns the machine used by the experiment harness
+// and benchmarks: the full Table 1 core and interconnect latencies,
+// with cache capacities scaled down in proportion to the synthetic
+// workloads' footprints (the paper's 64KB L1-D / 16MB L2 against
+// multi-gigabyte workloads becomes 8KB / 64KB against ours) so that
+// capacity-miss behaviour — specjbb's defining property — survives the
+// scaling.
+func ExperimentConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Node.L1 = cache.Config{SizeBytes: 8 * 1024, Assoc: 4}
+	cfg.Node.L2 = cache.Config{SizeBytes: 64 * 1024, Assoc: 8}
+	return cfg
+}
+
+// Workload aliases workload.Workload: a ready-to-run program set with
+// memory initializer and functional validator.
+type Workload = workload.Workload
+
+// Result is one run's outcome.
+type Result struct {
+	Workload string
+	Tech     Techniques
+	Cycles   uint64
+	Retired  uint64 // total committed instructions across CPUs
+	PerCPU   []uint64
+	Finished bool // all CPUs halted before MaxCycles
+	Counters map[string]uint64
+}
+
+// IPC returns aggregate committed instructions per cycle across all
+// CPUs (the paper's Table 2 definition).
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Retired) / float64(r.Cycles)
+}
+
+// System is an assembled machine.
+type System struct {
+	cfg      Config
+	Mem      *mem.Memory
+	Bus      *bus.Bus
+	Counters *stats.Counters
+	Nodes    []*core.Controller
+	Cores    []*cpu.Core
+	now      uint64
+}
+
+// New assembles a system for the workload.
+func New(cfg Config, w Workload) *System {
+	if cfg.CPUs <= 0 {
+		cfg.CPUs = 4
+	}
+	if len(w.Programs) != cfg.CPUs {
+		panic(fmt.Sprintf("sim: workload %q has %d programs for %d CPUs",
+			w.Name, len(w.Programs), cfg.CPUs))
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = DefaultMaxCycles
+	}
+	s := &System{cfg: cfg, Mem: mem.New(), Counters: stats.NewCounters()}
+	if w.Init != nil {
+		w.Init(s.Mem)
+	}
+	var rng *rand.Rand
+	if cfg.Bus.JitterMax > 0 {
+		rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	s.Bus = bus.New(cfg.Bus, s.Mem, s.Counters, rng)
+
+	nodeCfg := cfg.Node
+	nodeCfg.MESTI = cfg.Tech.MESTI || cfg.Tech.EMESTI
+	nodeCfg.EMESTI = cfg.Tech.EMESTI
+	nodeCfg.LVP = cfg.Tech.LVP
+	// Update-silent squashing accompanies the silence-exploiting
+	// protocols, as in the paper's lineage ([21] precedes [22]).
+	nodeCfg.SquashUpdateSilent = nodeCfg.MESTI
+
+	coreCfg := cfg.Core
+	coreCfg.SLE.Enabled = cfg.Tech.SLE
+
+	for i := 0; i < cfg.CPUs; i++ {
+		nc := nodeCfg
+		if cfg.StaleDetector != nil {
+			nc.Detector = cfg.StaleDetector(i)
+		}
+		c := cpu.New(coreCfg, i, w.Programs[i], nil, s.Counters)
+		ctrl := core.NewController(nc, s.Bus, c, s.Counters)
+		c.SetMemSystem(ctrl)
+		if cfg.CheckCommits {
+			c.EnableChecker()
+		}
+		s.Cores = append(s.Cores, c)
+		s.Nodes = append(s.Nodes, ctrl)
+	}
+	return s
+}
+
+// Step advances the whole machine one cycle.
+func (s *System) Step() {
+	s.Bus.Tick(s.now)
+	for _, n := range s.Nodes {
+		n.Tick(s.now)
+	}
+	for _, c := range s.Cores {
+		c.Tick(s.now)
+	}
+	s.now++
+}
+
+// Run executes until every CPU halts (and the interconnect drains) or
+// MaxCycles elapse, then returns the result.
+func (s *System) Run(w Workload) Result {
+	var lastRetired uint64
+	lastProgress := uint64(0)
+	for s.now < s.cfg.MaxCycles {
+		allHalted := true
+		var retired uint64
+		for _, c := range s.Cores {
+			if !c.Halted() {
+				allHalted = false
+			}
+			retired += c.Retired()
+		}
+		if retired != lastRetired {
+			lastRetired = retired
+			lastProgress = s.now
+		} else if s.now-lastProgress > 2_000_000 {
+			panic(fmt.Sprintf("sim: no instruction retired for 2M cycles at cycle %d (workload %q, tech %s) — deadlock",
+				s.now, w.Name, s.cfg.Tech))
+		}
+		if allHalted && s.Bus.Idle() && s.storeBuffersEmpty() {
+			break
+		}
+		s.Step()
+	}
+	res := Result{
+		Workload: w.Name,
+		Tech:     s.cfg.Tech,
+		Cycles:   s.now,
+		Counters: s.Counters.Snapshot(),
+	}
+	res.Finished = true
+	for _, c := range s.Cores {
+		if !c.Halted() {
+			res.Finished = false
+		}
+		res.PerCPU = append(res.PerCPU, c.Retired())
+		res.Retired += c.Retired()
+	}
+	if w.Validate != nil && res.Finished {
+		if err := w.Validate(s.Mem, s.readWord); err != nil {
+			panic(fmt.Sprintf("sim: workload %q validation failed under %s: %v",
+				w.Name, s.cfg.Tech, err))
+		}
+	}
+	return res
+}
+
+func (s *System) storeBuffersEmpty() bool {
+	for _, n := range s.Nodes {
+		if !n.StoreBufEmpty() {
+			return false
+		}
+	}
+	return true
+}
+
+// ReadWordCoherent returns the current coherent value of a word: the
+// dirty owner's copy if one exists, else memory. Used by workload
+// validators after a run and by examples to inspect results.
+func (s *System) ReadWordCoherent(addr uint64) uint64 {
+	return s.readWord(addr)
+}
+
+// readWord returns the current coherent value of a word: the dirty
+// owner's copy if one exists, else memory. Used by workload
+// validators after a run.
+func (s *System) readWord(addr uint64) uint64 {
+	for _, n := range s.Nodes {
+		st := n.LineState(addr)
+		if st == core.StateM || st == core.StateO {
+			if d, ok := n.LineData(addr); ok {
+				return d.Word(mem.WordIndex(addr))
+			}
+		}
+	}
+	return s.Mem.ReadWord(addr)
+}
+
+// RunOne is the one-shot convenience: assemble, run, return.
+func RunOne(cfg Config, w Workload) Result {
+	return New(cfg, w).Run(w)
+}
+
+// RunSample runs the same workload/config with n different seeds
+// (enabling latency jitter) and returns the cycle-count sample — the
+// non-deterministic-workload methodology the paper adopts for its 95%
+// confidence intervals.
+func RunSample(cfg Config, w Workload, n int) *stats.Sample {
+	if cfg.Bus.JitterMax <= 0 {
+		cfg.Bus.JitterMax = 5
+	}
+	var sample stats.Sample
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)*7919
+		r := RunOne(c, w)
+		sample.Add(float64(r.Cycles))
+	}
+	return &sample
+}

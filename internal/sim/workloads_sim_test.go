@@ -1,0 +1,45 @@
+package sim_test
+
+import (
+	"testing"
+
+	"tssim/internal/sim"
+	"tssim/internal/workload"
+)
+
+// TestWorkloadsOnTimingModel runs every synthetic workload on the full
+// timing model under a representative set of technique combinations,
+// with commit checking and functional validation active. This is the
+// closest analogue of the paper's PHARMsim-vs-SimOS functional
+// validation: the machine may be fast or slow, but it must never
+// compute wrong answers.
+func TestWorkloadsOnTimingModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-model sweep is slow")
+	}
+	techs := []sim.Techniques{
+		{},
+		{MESTI: true},
+		{MESTI: true, EMESTI: true},
+		{LVP: true},
+		{SLE: true},
+		{MESTI: true, EMESTI: true, LVP: true, SLE: true},
+	}
+	for _, w := range workload.All(workload.Params{CPUs: 4, Scale: 1, UnsafeISyncEvery: 3}) {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			for _, tech := range techs {
+				cfg := sim.ExperimentConfig()
+				cfg.Tech = tech
+				cfg.CheckCommits = true
+				res := sim.RunOne(cfg, w) // Validate panics on corruption
+				if !res.Finished {
+					t.Fatalf("%s under %s did not finish (%d cycles)", w.Name, tech, res.Cycles)
+				}
+				if res.Retired == 0 {
+					t.Fatalf("%s under %s retired nothing", w.Name, tech)
+				}
+			}
+		})
+	}
+}

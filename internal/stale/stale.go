@@ -1,0 +1,180 @@
+// Package stale implements temporal-silence detection for MESTI: the
+// storage that remembers a line's previous globally visible value so
+// each store can be compared against it (the NOR-of-dirty-bits check
+// of Figure 5 reduces to a full-line value comparison here, since the
+// simulator has the actual bytes).
+//
+// Two detectors are provided. Perfect keeps every candidate — the
+// assumption the paper adopts for its performance studies after
+// validating that a small finite mechanism captures nearly all useful
+// silence. Finite models that mechanism (Figure 5): an L1-Mirror that
+// snapshots the temporal-silence candidate when a line fills into the
+// L1-D cache, backed by a small stale storage that candidates spill to
+// when the dirty line is written back. Comparisons happen only against
+// the mirror, so a candidate that has spilled must return to the
+// mirror (on refill) before silence is detectable again — pairs living
+// longer than the mirror+stale lifetime are missed, which is exactly
+// the gap Figure 6 quantifies.
+package stale
+
+import (
+	"tssim/internal/cache"
+	"tssim/internal/mem"
+)
+
+// Detector is the interface the cache controller drives. SaveStale is
+// called at each visibility boundary — the moment this node gains
+// exclusive ownership to write (the boldface PrWr arcs in the paper's
+// Figure 2) — with the line's last globally visible value. Candidate
+// returns the value a store should be compared against, if any.
+type Detector interface {
+	// SaveStale records data as the reversion candidate for the line.
+	SaveStale(addr uint64, data mem.Line)
+	// Candidate returns the reversion candidate, if detectable now.
+	Candidate(addr uint64) (mem.Line, bool)
+	// Drop forgets the candidate (line validated, lost, or evicted).
+	Drop(addr uint64)
+	// OnL1Evict tells the detector the line left the L1-D cache.
+	OnL1Evict(addr uint64)
+	// OnL1Fill tells the detector the line re-entered the L1-D cache.
+	OnL1Fill(addr uint64)
+}
+
+// Perfect retains every candidate with no capacity bound.
+type Perfect struct {
+	candidates map[uint64]mem.Line
+}
+
+// NewPerfect returns an unbounded detector.
+func NewPerfect() *Perfect {
+	return &Perfect{candidates: make(map[uint64]mem.Line)}
+}
+
+// SaveStale implements Detector.
+func (p *Perfect) SaveStale(addr uint64, data mem.Line) {
+	p.candidates[mem.LineAddr(addr)] = data
+}
+
+// Candidate implements Detector.
+func (p *Perfect) Candidate(addr uint64) (mem.Line, bool) {
+	d, ok := p.candidates[mem.LineAddr(addr)]
+	return d, ok
+}
+
+// Drop implements Detector.
+func (p *Perfect) Drop(addr uint64) { delete(p.candidates, mem.LineAddr(addr)) }
+
+// OnL1Evict implements Detector; the perfect detector does not care
+// where the line lives.
+func (p *Perfect) OnL1Evict(addr uint64) {}
+
+// OnL1Fill implements Detector.
+func (p *Perfect) OnL1Fill(addr uint64) {}
+
+// Tracked returns the number of live candidates (test hook).
+func (p *Perfect) Tracked() int { return len(p.candidates) }
+
+// Finite is the Figure 5 mechanism: candidates for lines resident in
+// the L1-D cache live in the L1-Mirror (organized identically to the
+// L1-D cache); candidates for written-back lines live in the stale
+// storage. Either structure losing an entry to replacement loses the
+// candidate — a missed detection, never a correctness problem.
+type Finite struct {
+	mirror *cache.Cache
+	store  *cache.Cache
+
+	// MissedSaves counts candidates lost to replacement, for the
+	// Figure 6 analysis.
+	MissedSaves uint64
+}
+
+// NewFinite builds the finite detector. mirrorCfg should match the
+// L1-D cache organization (the paper's L1-Mirror is an identical
+// array); storeCfg sizes the stale storage (32KB and 128KB in
+// Figure 6).
+func NewFinite(mirrorCfg, storeCfg cache.Config) *Finite {
+	return &Finite{mirror: cache.New(mirrorCfg), store: cache.New(storeCfg)}
+}
+
+func put(c *cache.Cache, addr uint64, data mem.Line) (displaced bool) {
+	if l := c.Lookup(addr); l != nil {
+		l.Data = data
+		c.Touch(l)
+		return false
+	}
+	f, ev := c.Allocate(addr)
+	f.Data = data
+	c.Touch(f)
+	return ev.Allocated
+}
+
+// SaveStale implements Detector. The candidate enters the mirror (the
+// line is being dirtied while resident in L1).
+func (f *Finite) SaveStale(addr uint64, data mem.Line) {
+	// A new visibility boundary supersedes any spilled candidate.
+	f.store.Drop(addr)
+	if put(f.mirror, addr, data) {
+		f.MissedSaves++
+	}
+}
+
+// Candidate implements Detector: comparisons are performed only
+// against the L1-Mirror (§2.5.1), so a spilled candidate is not
+// detectable until it returns on a fill.
+func (f *Finite) Candidate(addr uint64) (mem.Line, bool) {
+	if l := f.mirror.Lookup(addr); l != nil {
+		f.mirror.Touch(l)
+		return l.Data, true
+	}
+	return mem.Line{}, false
+}
+
+// Drop implements Detector.
+func (f *Finite) Drop(addr uint64) {
+	f.mirror.Drop(addr)
+	f.store.Drop(addr)
+}
+
+// OnL1Evict implements Detector: the candidate spills from the mirror
+// to the stale storage alongside the L1 writeback.
+func (f *Finite) OnL1Evict(addr uint64) {
+	l := f.mirror.Lookup(addr)
+	if l == nil {
+		return
+	}
+	data := l.Data
+	f.mirror.Drop(addr)
+	if put(f.store, addr, data) {
+		f.MissedSaves++
+	}
+}
+
+// OnL1Fill implements Detector: a spilled candidate returns to the
+// mirror so detection can resume (the fill-time capture path of
+// Figure 5: the mirror reads from the stale storage when the L2 says
+// the line had been written back).
+func (f *Finite) OnL1Fill(addr uint64) {
+	l := f.store.Lookup(addr)
+	if l == nil {
+		return
+	}
+	data := l.Data
+	f.store.Drop(addr)
+	if put(f.mirror, addr, data) {
+		f.MissedSaves++
+	}
+}
+
+// MirrorEntries returns the number of candidates in the mirror.
+func (f *Finite) MirrorEntries() int {
+	n := 0
+	f.mirror.ForEach(func(*cache.Line) { n++ })
+	return n
+}
+
+// StoreEntries returns the number of spilled candidates.
+func (f *Finite) StoreEntries() int {
+	n := 0
+	f.store.ForEach(func(*cache.Line) { n++ })
+	return n
+}

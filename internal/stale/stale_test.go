@@ -1,0 +1,165 @@
+package stale
+
+import (
+	"testing"
+
+	"tssim/internal/cache"
+	"tssim/internal/mem"
+)
+
+func lineWith(w0 uint64) mem.Line {
+	var l mem.Line
+	l.SetWord(0, w0)
+	return l
+}
+
+func TestPerfectSaveLookupDrop(t *testing.T) {
+	p := NewPerfect()
+	if _, ok := p.Candidate(0x1000); ok {
+		t.Fatal("empty detector returned a candidate")
+	}
+	p.SaveStale(0x1008, lineWith(5)) // any offset in line
+	got, ok := p.Candidate(0x1038)
+	if !ok || got.Word(0) != 5 {
+		t.Fatal("candidate lost or wrong")
+	}
+	p.Drop(0x1000)
+	if _, ok := p.Candidate(0x1000); ok {
+		t.Fatal("candidate survived drop")
+	}
+}
+
+func TestPerfectOverwrite(t *testing.T) {
+	p := NewPerfect()
+	p.SaveStale(0x1000, lineWith(1))
+	p.SaveStale(0x1000, lineWith(2))
+	got, _ := p.Candidate(0x1000)
+	if got.Word(0) != 2 {
+		t.Fatal("newer visibility boundary must supersede")
+	}
+	if p.Tracked() != 1 {
+		t.Fatalf("tracked = %d, want 1", p.Tracked())
+	}
+}
+
+func smallFinite() *Finite {
+	// 2-line mirror, 4-line stale storage: tiny so tests can force
+	// replacement.
+	return NewFinite(
+		cache.Config{SizeBytes: 2 * mem.LineSize, Assoc: 2},
+		cache.Config{SizeBytes: 4 * mem.LineSize, Assoc: 4},
+	)
+}
+
+func TestFiniteBasicDetection(t *testing.T) {
+	f := smallFinite()
+	f.SaveStale(0x1000, lineWith(7))
+	got, ok := f.Candidate(0x1000)
+	if !ok || got.Word(0) != 7 {
+		t.Fatal("mirror lookup failed")
+	}
+}
+
+func TestFiniteSpillAndRefill(t *testing.T) {
+	f := smallFinite()
+	f.SaveStale(0x1000, lineWith(7))
+	f.OnL1Evict(0x1000)
+	// Spilled: not detectable (comparisons run against the mirror
+	// only).
+	if _, ok := f.Candidate(0x1000); ok {
+		t.Fatal("spilled candidate must not be detectable")
+	}
+	if f.StoreEntries() != 1 || f.MirrorEntries() != 0 {
+		t.Fatalf("entries mirror=%d store=%d", f.MirrorEntries(), f.StoreEntries())
+	}
+	// Refill brings it back.
+	f.OnL1Fill(0x1000)
+	got, ok := f.Candidate(0x1000)
+	if !ok || got.Word(0) != 7 {
+		t.Fatal("candidate did not return on fill")
+	}
+	if f.StoreEntries() != 0 {
+		t.Fatal("store entry should have moved back")
+	}
+}
+
+func TestFiniteMirrorReplacementLosesCandidate(t *testing.T) {
+	f := smallFinite()
+	// 2-line fully-assoc mirror: third distinct line evicts the LRU.
+	f.SaveStale(0x0000, lineWith(1))
+	f.SaveStale(0x0040, lineWith(2))
+	f.SaveStale(0x0080, lineWith(3))
+	if f.MissedSaves != 1 {
+		t.Fatalf("MissedSaves = %d, want 1", f.MissedSaves)
+	}
+	lost := 0
+	for _, a := range []uint64{0x0000, 0x0040, 0x0080} {
+		if _, ok := f.Candidate(a); !ok {
+			lost++
+		}
+	}
+	if lost != 1 {
+		t.Fatalf("lost %d candidates, want exactly 1", lost)
+	}
+}
+
+func TestFiniteStoreReplacementLosesCandidate(t *testing.T) {
+	f := smallFinite()
+	// Fill the 4-line stale storage via evictions, then one more.
+	for i := uint64(0); i < 5; i++ {
+		addr := i * 0x40
+		f.SaveStale(addr, lineWith(i))
+		f.OnL1Evict(addr)
+	}
+	if f.StoreEntries() != 4 {
+		t.Fatalf("store entries = %d, want 4 (capacity)", f.StoreEntries())
+	}
+	if f.MissedSaves != 1 {
+		t.Fatalf("MissedSaves = %d, want 1", f.MissedSaves)
+	}
+}
+
+func TestFiniteNewBoundarySupersedesSpill(t *testing.T) {
+	f := smallFinite()
+	f.SaveStale(0x1000, lineWith(1))
+	f.OnL1Evict(0x1000)
+	// New visibility boundary with a different value while the old
+	// candidate sits in the stale storage.
+	f.SaveStale(0x1000, lineWith(9))
+	got, ok := f.Candidate(0x1000)
+	if !ok || got.Word(0) != 9 {
+		t.Fatalf("candidate = %v,%v; want 9", got.Word(0), ok)
+	}
+	// A later fill must not resurrect the stale candidate.
+	f.OnL1Fill(0x1000)
+	got, ok = f.Candidate(0x1000)
+	if !ok || got.Word(0) != 9 {
+		t.Fatal("superseded candidate resurrected")
+	}
+}
+
+func TestFiniteDropClearsBothLevels(t *testing.T) {
+	f := smallFinite()
+	f.SaveStale(0x1000, lineWith(1))
+	f.OnL1Evict(0x1000)
+	f.Drop(0x1000)
+	f.OnL1Fill(0x1000)
+	if _, ok := f.Candidate(0x1000); ok {
+		t.Fatal("dropped candidate came back")
+	}
+}
+
+func TestFiniteEvictWithoutCandidateIsNoop(t *testing.T) {
+	f := smallFinite()
+	f.OnL1Evict(0x1000)
+	f.OnL1Fill(0x1000)
+	if f.MissedSaves != 0 || f.StoreEntries() != 0 {
+		t.Fatal("noop eviction had side effects")
+	}
+}
+
+// Interface conformance.
+var (
+	_ Detector = (*Perfect)(nil)
+	_ Detector = (*Finite)(nil)
+)

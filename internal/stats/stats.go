@@ -1,0 +1,269 @@
+// Package stats provides the measurement substrate for the simulator:
+// named event counters, multi-run sample sets with 95% confidence
+// intervals (the Alameldeen-Wood methodology the paper cites for
+// non-deterministic multithreaded workloads), and text table rendering
+// used by the experiment harness to print paper-style rows.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counters is a set of named uint64 event counters. It is the unit of
+// statistics collection inside the simulator: every module (bus, cache
+// controller, core, predictor) increments counters on a shared set so
+// experiments can read one flat namespace.
+type Counters struct {
+	m map[string]uint64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{m: make(map[string]uint64)}
+}
+
+// Inc adds one to the named counter.
+func (c *Counters) Inc(name string) { c.m[name]++ }
+
+// Add adds delta to the named counter.
+func (c *Counters) Add(name string, delta uint64) { c.m[name] += delta }
+
+// Get returns the current value of the named counter (zero if never
+// touched).
+func (c *Counters) Get(name string) uint64 { return c.m[name] }
+
+// Set overwrites the named counter. Used for gauge-like values such as
+// final cycle counts.
+func (c *Counters) Set(name string, v uint64) { c.m[name] = v }
+
+// Names returns all counter names in sorted order.
+func (c *Counters) Names() []string {
+	names := make([]string, 0, len(c.m))
+	for k := range c.m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot returns a copy of the counter map.
+func (c *Counters) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// Merge adds every counter in other into c.
+func (c *Counters) Merge(other *Counters) {
+	for k, v := range other.m {
+		c.m[k] += v
+	}
+}
+
+// Sum returns the total across counters whose name has the given
+// prefix. Counter names use slash-separated hierarchies
+// (e.g. "bus/txn/read"), so Sum("bus/txn/") totals all transaction
+// types.
+func (c *Counters) Sum(prefix string) uint64 {
+	var total uint64
+	for k, v := range c.m {
+		if strings.HasPrefix(k, prefix) {
+			total += v
+		}
+	}
+	return total
+}
+
+// Sample accumulates observations of one scalar metric across repeated
+// runs and reports mean and a 95% confidence interval.
+type Sample struct {
+	xs []float64
+}
+
+// Add appends one observation.
+func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Values returns a copy of the observations.
+func (s *Sample) Values() []float64 {
+	out := make([]float64, len(s.xs))
+	copy(out, s.xs)
+	return out
+}
+
+// Mean returns the arithmetic mean (zero for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator).
+func (s *Sample) StdDev() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, x := range s.xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Min returns the smallest observation (zero for an empty sample).
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	min := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x < min {
+			min = x
+		}
+	}
+	return min
+}
+
+// Max returns the largest observation (zero for an empty sample).
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	max := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x > max {
+			max = x
+		}
+	}
+	return max
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the
+// mean, using Student's t distribution. With fewer than two samples the
+// interval is zero (a single deterministic run has no spread to
+// report).
+func (s *Sample) CI95() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	return tCrit95(n-1) * s.StdDev() / math.Sqrt(float64(n))
+}
+
+// tCrit95 returns the two-sided 95% critical value of Student's t
+// distribution for the given degrees of freedom. Values for small df
+// are tabulated; larger df fall back to the normal approximation.
+func tCrit95(df int) float64 {
+	table := []float64{
+		0,                                                             // df 0 unused
+		12.706,                                                        // 1
+		4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, // 2..10
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, // 11..20
+		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042, // 21..30
+	}
+	if df <= 0 {
+		return 0
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	return 1.960
+}
+
+// Ratio is a convenience for speedup-style metrics: value relative to a
+// baseline, e.g. Ratio(baseCycles, newCycles) > 1 means faster.
+func Ratio(baseline, measured float64) float64 {
+	if measured == 0 {
+		return 0
+	}
+	return baseline / measured
+}
+
+// Table renders fixed-width text tables for experiment output. Rows
+// are added as string cells; numeric helpers format consistently.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// Row appends a row of pre-formatted cells.
+func (t *Table) Row(cells ...string) { t.rows = append(t.rows, cells) }
+
+// String renders the table with columns padded to content width.
+func (t *Table) String() string {
+	ncol := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	width := make([]int, ncol)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var b strings.Builder
+	writeRow := func(r []string) {
+		for i := 0; i < ncol; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, ncol)
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Pct formats a fraction as a signed percentage ("+4.2%").
+func Pct(x float64) string {
+	return fmt.Sprintf("%+.1f%%", 100*x)
+}
+
+// F formats a float with 3 significant decimals.
+func F(x float64) string { return fmt.Sprintf("%.3f", x) }
+
+// MeanCI formats "mean ± ci".
+func MeanCI(s *Sample) string {
+	return fmt.Sprintf("%.3f ±%.3f", s.Mean(), s.CI95())
+}

@@ -1,0 +1,207 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountersBasic(t *testing.T) {
+	c := NewCounters()
+	if got := c.Get("x"); got != 0 {
+		t.Fatalf("untouched counter = %d, want 0", got)
+	}
+	c.Inc("x")
+	c.Inc("x")
+	c.Add("x", 3)
+	if got := c.Get("x"); got != 5 {
+		t.Fatalf("x = %d, want 5", got)
+	}
+	c.Set("x", 1)
+	if got := c.Get("x"); got != 1 {
+		t.Fatalf("after Set, x = %d, want 1", got)
+	}
+}
+
+func TestCountersSumPrefix(t *testing.T) {
+	c := NewCounters()
+	c.Add("bus/txn/read", 10)
+	c.Add("bus/txn/readx", 5)
+	c.Add("bus/txn/upgrade", 2)
+	c.Add("bus/other", 100)
+	if got := c.Sum("bus/txn/"); got != 17 {
+		t.Fatalf("Sum(bus/txn/) = %d, want 17", got)
+	}
+	if got := c.Sum("bus/"); got != 117 {
+		t.Fatalf("Sum(bus/) = %d, want 117", got)
+	}
+	if got := c.Sum("nomatch/"); got != 0 {
+		t.Fatalf("Sum(nomatch/) = %d, want 0", got)
+	}
+}
+
+func TestCountersNamesSorted(t *testing.T) {
+	c := NewCounters()
+	c.Inc("zeta")
+	c.Inc("alpha")
+	c.Inc("mid")
+	names := c.Names()
+	want := []string{"alpha", "mid", "zeta"}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names()[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+func TestCountersMergeAndSnapshot(t *testing.T) {
+	a, b := NewCounters(), NewCounters()
+	a.Add("x", 1)
+	b.Add("x", 2)
+	b.Add("y", 3)
+	a.Merge(b)
+	if a.Get("x") != 3 || a.Get("y") != 3 {
+		t.Fatalf("after merge: x=%d y=%d", a.Get("x"), a.Get("y"))
+	}
+	snap := a.Snapshot()
+	a.Inc("x")
+	if snap["x"] != 3 {
+		t.Fatal("snapshot must be a copy, not a view")
+	}
+}
+
+func TestSampleMoments(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if got := s.Mean(); got != 5 {
+		t.Fatalf("mean = %v, want 5", got)
+	}
+	// Sample stddev with n-1: variance = 32/7.
+	want := math.Sqrt(32.0 / 7.0)
+	if got := s.StdDev(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("stddev = %v, want %v", got, want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSampleCI95(t *testing.T) {
+	var s Sample
+	if s.CI95() != 0 {
+		t.Fatal("empty sample CI should be 0")
+	}
+	s.Add(10)
+	if s.CI95() != 0 {
+		t.Fatal("single-observation CI should be 0")
+	}
+	s.Add(12)
+	// n=2, df=1: t=12.706, sd=sqrt(2), ci = 12.706*sqrt(2)/sqrt(2) = 12.706
+	if got := s.CI95(); math.Abs(got-12.706) > 1e-9 {
+		t.Fatalf("CI95 = %v, want 12.706", got)
+	}
+	// Identical observations -> zero-width interval.
+	var z Sample
+	for i := 0; i < 10; i++ {
+		z.Add(3.5)
+	}
+	if z.CI95() != 0 {
+		t.Fatalf("constant sample CI = %v, want 0", z.CI95())
+	}
+}
+
+func TestTCritMonotone(t *testing.T) {
+	// Critical values shrink toward the normal limit as df grows.
+	prev := tCrit95(1)
+	for df := 2; df < 200; df++ {
+		cur := tCrit95(df)
+		if cur > prev {
+			t.Fatalf("tCrit95 not non-increasing at df=%d: %v > %v", df, cur, prev)
+		}
+		prev = cur
+	}
+	if got := tCrit95(10000); got != 1.960 {
+		t.Fatalf("large-df tCrit = %v, want 1.960", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(200, 100); got != 2 {
+		t.Fatalf("Ratio = %v, want 2", got)
+	}
+	if got := Ratio(100, 0); got != 0 {
+		t.Fatalf("Ratio with zero measured = %v, want 0", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("bench", "speedup")
+	tb.Row("tpc-b", "+6.5%")
+	tb.Row("ocean", "+1.0%")
+	out := tb.String()
+	if !strings.Contains(out, "bench") || !strings.Contains(out, "tpc-b") {
+		t.Fatalf("table missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	// All lines padded to consistent column starts.
+	if !strings.HasPrefix(lines[1], "-----") {
+		t.Fatalf("missing separator line:\n%s", out)
+	}
+}
+
+func TestSampleMeanPropertyBounds(t *testing.T) {
+	// Property: mean is always within [min, max] of the inputs.
+	f := func(xs []float64) bool {
+		var s Sample
+		ok := false
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			// Bound magnitude so the running sum cannot overflow;
+			// simulator metrics are cycle counts, never 1e300.
+			x = math.Mod(x, 1e12)
+			s.Add(x)
+			ok = true
+		}
+		if !ok {
+			return true
+		}
+		m := s.Mean()
+		return m >= s.Min()-1e-6*math.Abs(s.Min())-1e-9 &&
+			m <= s.Max()+1e-6*math.Abs(s.Max())+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountersMergeProperty(t *testing.T) {
+	// Property: Sum over everything equals sum of parts after a merge.
+	f := func(a, b map[string]uint16) bool {
+		ca, cb := NewCounters(), NewCounters()
+		var want uint64
+		for k, v := range a {
+			ca.Add("p/"+k, uint64(v))
+			want += uint64(v)
+		}
+		for k, v := range b {
+			cb.Add("p/"+k, uint64(v))
+			want += uint64(v)
+		}
+		ca.Merge(cb)
+		return ca.Sum("p/") == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

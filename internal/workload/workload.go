@@ -1,0 +1,22 @@
+package workload
+
+import (
+	"tssim/internal/isa"
+	"tssim/internal/mem"
+)
+
+// Workload is a ready-to-run program set: one program per CPU plus a
+// memory initializer and an optional post-run functional validator.
+// The sim package consumes these; every constructor in this package
+// returns one.
+type Workload struct {
+	Name     string
+	Programs []*isa.Program
+	Init     func(m *mem.Memory)
+	// Validate, if non-nil, checks functional outcomes after the run
+	// (shared counters adding up, locks left free) given a coherent
+	// word reader; an error means the simulated machine corrupted the
+	// computation. It gives every simulation run an end-to-end
+	// correctness check.
+	Validate func(m *mem.Memory, readWord func(addr uint64) uint64) error
+}
