@@ -10,10 +10,12 @@
 package main
 
 import (
+	"io"
 	"testing"
 
 	"tssim/internal/experiments"
 	"tssim/internal/sim"
+	"tssim/internal/trace"
 	"tssim/internal/workload"
 )
 
@@ -151,4 +153,40 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(cycles), "sim-cycles")
 	b.ReportMetric(float64(retired), "sim-instrs")
+}
+
+// --- Observability overhead guard ---
+//
+// The tracer is designed to be free when absent (nil *Tracer, value
+// events). Compare ns per simulated cycle across tracer modes:
+// `disabled` must track BenchmarkSimulatorThroughput within noise
+// (the ISSUE budget is < 2%), `ring` and `jsonl` quantify the cost of
+// turning tracing on.
+func BenchmarkTracingOverhead(b *testing.B) {
+	w, err := workload.ByName("tpc-b", workload.Params{CPUs: 4, Scale: 1, UnsafeISyncEvery: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	modes := []struct {
+		name   string
+		tracer func() *trace.Tracer
+	}{
+		{"disabled", func() *trace.Tracer { return nil }},
+		{"ring", func() *trace.Tracer { return trace.New(0, nil) }},
+		{"jsonl", func() *trace.Tracer { return trace.New(0, trace.NewJSONLSink(io.Discard)) }},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				cfg := sim.ExperimentConfig()
+				cfg.Tech = sim.Techniques{MESTI: true, EMESTI: true}
+				cfg.Trace = m.tracer()
+				r := sim.RunOne(cfg, w)
+				cfg.Trace.Close()
+				cycles = r.Cycles
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(cycles), "ns/sim-cycle")
+		})
+	}
 }

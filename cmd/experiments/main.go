@@ -25,6 +25,7 @@ func main() {
 		misses   = flag.Bool("misses", false, "miss classification and false-sharing fractions (§5.3.2)")
 		all      = flag.Bool("all", false, "run everything")
 		dump     = flag.String("dump", "", "dump all counters for one workload (use with -tech)")
+		report   = flag.String("report", "", "with -dump: also write a machine-readable JSON report here")
 		techStr  = flag.String("tech", "baseline", "technique for -dump: baseline|mesti|emesti|lvp|sle|all")
 		cpus     = flag.Int("cpus", 4, "number of CPUs")
 		scale    = flag.Int("scale", 2, "workload scale factor")
@@ -85,7 +86,22 @@ func main() {
 			"all":      {MESTI: true, EMESTI: true, LVP: true, SLE: true},
 		}[*techStr]
 		fmt.Println(experiments.CountersDump(p, *dump, tech))
+		if *report != "" {
+			rep, err := experiments.DumpReport(p, *dump, tech)
+			if err == nil {
+				err = rep.WriteFile(*report)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "report -> %s\n", *report)
+		}
 		ran = true
+	}
+	if *report != "" && *dump == "" {
+		fmt.Fprintln(os.Stderr, "-report requires -dump")
+		os.Exit(2)
 	}
 	if !ran {
 		flag.Usage()

@@ -10,10 +10,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strings"
 
 	"tssim/internal/sim"
+	"tssim/internal/trace"
 	"tssim/internal/workload"
 )
 
@@ -40,6 +40,26 @@ func parseTech(s string) (sim.Techniques, error) {
 	return t, nil
 }
 
+// newTracer opens path and builds a Tracer streaming to it in the
+// requested format.
+func newTracer(path, format string) (*trace.Tracer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	var sink trace.Sink
+	switch format {
+	case "jsonl":
+		sink = trace.NewJSONLSink(f)
+	case "chrome":
+		sink = trace.NewChromeSink(f)
+	default:
+		f.Close()
+		return nil, fmt.Errorf("unknown trace format %q (use jsonl|chrome)", format)
+	}
+	return trace.New(0, sink), nil
+}
+
 func main() {
 	var (
 		name    = flag.String("workload", "tpc-b", "workload: "+strings.Join(workload.Names(), "|"))
@@ -47,8 +67,12 @@ func main() {
 		cpus    = flag.Int("cpus", 4, "number of CPUs")
 		scale   = flag.Int("scale", 1, "workload scale factor")
 		seeds   = flag.Int("seeds", 1, "runs with latency jitter (CI when > 1)")
-		verbose = flag.Bool("verbose", false, "dump all event counters")
+		verbose = flag.Bool("verbose", false, "dump all event counters and histograms")
 		check   = flag.Bool("check", false, "enable the in-order commit checker")
+
+		tracePath   = flag.String("trace", "", "write a coherence event trace to this file")
+		traceFormat = flag.String("trace-format", "jsonl", "trace format: jsonl|chrome (chrome loads in Perfetto)")
+		reportPath  = flag.String("report", "", "write a machine-readable JSON run report to this file")
 	)
 	flag.Parse()
 
@@ -68,12 +92,38 @@ func main() {
 	cfg.CheckCommits = *check
 
 	if *seeds > 1 {
+		if *tracePath != "" || *reportPath != "" {
+			fmt.Fprintln(os.Stderr, "-trace and -report record a single run; use -seeds 1")
+			os.Exit(2)
+		}
 		s := sim.RunSample(cfg, w, *seeds)
 		fmt.Printf("%s under %s: %d runs, cycles %.0f ±%.0f (95%% CI), min %.0f max %.0f\n",
 			w.Name, tech, s.N(), s.Mean(), s.CI95(), s.Min(), s.Max())
 		return
 	}
+	if *tracePath != "" {
+		tr, err := newTracer(*tracePath, *traceFormat)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.Trace = tr
+	}
 	r := sim.RunOne(cfg, w)
+	if cfg.Trace != nil {
+		if err := cfg.Trace.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events -> %s (%s)\n", cfg.Trace.Total(), *tracePath, *traceFormat)
+	}
+	if *reportPath != "" {
+		if err := sim.NewReport(cfg, r).WriteFile(*reportPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "report -> %s\n", *reportPath)
+	}
 	fmt.Printf("%s under %s\n", w.Name, tech)
 	fmt.Printf("  cycles    %d\n", r.Cycles)
 	fmt.Printf("  retired   %d (IPC %.3f)\n", r.Retired, r.IPC())
@@ -84,13 +134,11 @@ func main() {
 		r.Counters["bus/txn/upgrade"], r.Counters["bus/txn/validate"],
 		r.Counters["bus/txn/writeback"])
 	if *verbose {
-		keys := make([]string, 0, len(r.Counters))
-		for k := range r.Counters {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
+		for _, k := range r.Stats.Names() {
 			fmt.Printf("  %-36s %d\n", k, r.Counters[k])
+		}
+		if hs := r.Stats.HistString(); hs != "" {
+			fmt.Print(hs)
 		}
 	}
 }

@@ -27,6 +27,7 @@ import (
 
 	"tssim/internal/mem"
 	"tssim/internal/stats"
+	"tssim/internal/trace"
 )
 
 // TxnType enumerates address-bus transaction types.
@@ -78,6 +79,7 @@ type Txn struct {
 	HasData bool     // Data is meaningful (Read/ReadX)
 	Data    mem.Line // the returned line
 	doneAt  uint64
+	reqAt   uint64 // cycle the transaction entered its queue (latency accounting)
 }
 
 // Port is the interface every attached cache controller implements.
@@ -182,6 +184,14 @@ type Bus struct {
 	memory   *mem.Memory
 	counters *stats.Counters
 	rng      *rand.Rand
+	tr       *trace.Tracer
+	now      uint64 // last ticked cycle (request timestamping)
+
+	// Latency histograms, shared through counters: arbitration +
+	// queueing wait (request to grant) and full miss service
+	// (request to data delivery).
+	hWait *stats.Hist
+	hMiss *stats.Hist
 
 	ports    []Port
 	queues   [][]*Txn // per-node pending requests, FIFO
@@ -225,11 +235,16 @@ func New(cfg Config, memory *mem.Memory, counters *stats.Counters, rng *rand.Ran
 		panic("bus: jitter requested without rng")
 	}
 	return &Bus{cfg: c, memory: memory, counters: counters, rng: rng,
-		busyLines: make(map[uint64]int)}
+		busyLines: make(map[uint64]int),
+		hWait:     counters.Hist("lat/bus_wait"),
+		hMiss:     counters.Hist("lat/miss_service")}
 }
 
 // Config returns the effective timing configuration.
 func (b *Bus) Config() Config { return b.cfg }
+
+// SetTracer attaches the event tracer (nil disables tracing).
+func (b *Bus) SetTracer(tr *trace.Tracer) { b.tr = tr }
 
 // Attach registers a controller and returns its node id.
 func (b *Bus) Attach(p Port) int {
@@ -247,6 +262,7 @@ func (b *Bus) Request(t *Txn) {
 		panic(fmt.Sprintf("bus: request from unattached node %d", t.Src))
 	}
 	t.Addr = mem.LineAddr(t.Addr)
+	t.reqAt = b.now
 	b.queues[t.Src] = append(b.queues[t.Src], t)
 }
 
@@ -275,6 +291,7 @@ func (b *Bus) jitter() uint64 {
 // Tick advances the interconnect one cycle: possibly grants one
 // transaction and delivers any completions due.
 func (b *Bus) Tick(now uint64) {
+	b.now = now
 	b.releaseHolds(now)
 	if now >= b.addrFree {
 		if t := b.nextRequest(); t != nil {
@@ -325,12 +342,15 @@ func (b *Bus) nextRequest() *Txn {
 func (b *Bus) grant(t *Txn, now uint64) {
 	if !b.ports[t.Src].GrantTxn(t) {
 		b.counters.Inc("bus/aborted/" + t.Type.String())
+		b.tr.Emit(trace.Event{Kind: trace.KBusAbort, Node: int32(t.Src), Addr: t.Addr, A: uint8(t.Type)})
 		// An aborted transaction still consumed an arbitration
 		// attempt but we do not charge bus occupancy for it: the
 		// controller kills it before the address phase.
 		return
 	}
 	b.counters.Inc("bus/txn/" + t.Type.String())
+	b.hWait.Observe(now - t.reqAt)
+	b.tr.Emit(trace.Event{Kind: trace.KBusGrant, Node: int32(t.Src), Addr: t.Addr, A: uint8(t.Type), Arg: now - t.reqAt})
 	if b.TraceGrant != nil {
 		b.TraceGrant(now, t)
 	}
@@ -396,7 +416,9 @@ func (b *Bus) deliver(now uint64) {
 			if t.HasData {
 				// The busy mark persists through the fill hold.
 				b.holds = append(b.holds, lineHold{addr: t.Addr, at: now + uint64(b.cfg.FillHold)})
+				b.hMiss.Observe(now - t.reqAt)
 			}
+			b.tr.Emit(trace.Event{Kind: trace.KBusDeliver, Node: int32(t.Src), Addr: t.Addr, A: uint8(t.Type), Arg: now - t.reqAt})
 			b.ports[t.Src].CompleteTxn(t)
 		} else {
 			out = append(out, t)

@@ -74,6 +74,7 @@ func (m *MSHR) Verify(arrived *mem.Line) bool {
 // points about finite machines).
 type MSHRFile struct {
 	entries []MSHR
+	used    int
 }
 
 // NewMSHRFile builds a file with n entries.
@@ -104,6 +105,7 @@ func (f *MSHRFile) Alloc(addr uint64, write bool) *MSHR {
 	for i := range f.entries {
 		if !f.entries[i].Valid {
 			f.entries[i] = MSHR{Valid: true, Addr: mem.LineAddr(addr), Write: write}
+			f.used++
 			return &f.entries[i]
 		}
 	}
@@ -111,18 +113,16 @@ func (f *MSHRFile) Alloc(addr uint64, write bool) *MSHR {
 }
 
 // Free releases the MSHR.
-func (f *MSHRFile) Free(m *MSHR) { *m = MSHR{} }
-
-// InUse returns the number of live entries.
-func (f *MSHRFile) InUse() int {
-	n := 0
-	for i := range f.entries {
-		if f.entries[i].Valid {
-			n++
-		}
+func (f *MSHRFile) Free(m *MSHR) {
+	if m.Valid {
+		f.used--
 	}
-	return n
+	*m = MSHR{}
 }
+
+// InUse returns the number of live entries. O(1): the occupancy
+// histogram samples it every cycle.
+func (f *MSHRFile) InUse() int { return f.used }
 
 // Cap returns the file capacity.
 func (f *MSHRFile) Cap() int { return len(f.entries) }

@@ -9,6 +9,7 @@ import (
 	"tssim/internal/predictor"
 	"tssim/internal/stale"
 	"tssim/internal/stats"
+	"tssim/internal/trace"
 )
 
 // storeEntry is one retired store waiting in the post-retirement store
@@ -29,6 +30,20 @@ type Controller struct {
 	bus      *bus.Bus
 	client   Client
 	counters *stats.Counters
+	tr       *trace.Tracer
+	now      uint64 // last ticked cycle (latency accounting)
+
+	// Occupancy and reuse-distance histograms, shared via counters.
+	hOccMSHR *stats.Hist
+	hOccSB   *stats.Hist
+	hVreuse  *stats.Hist
+
+	// validatedAt records, per line, the cycle a snooped validate
+	// revalidated it (T -> S/VS); the first local use observes the
+	// validate-to-reuse distance and clears the entry. Invalidation
+	// or eviction before reuse drops it (the validate went unused
+	// here).
+	validatedAt map[uint64]uint64
 
 	l1    *cache.Cache // presence only; data lives in the L2
 	l2    *cache.Cache
@@ -68,16 +83,20 @@ func NewController(cfg Config, b *bus.Bus, client Client, counters *stats.Counte
 		cfg.StoreBuf = 16
 	}
 	c := &Controller{
-		cfg:       cfg,
-		bus:       b,
-		client:    client,
-		counters:  counters,
-		l1:        cache.New(cfg.L1),
-		l2:        cache.New(cfg.L2),
-		mshrs:     cache.NewMSHRFile(cfg.MSHRs),
-		tsSilent:  make(map[uint64]bool),
-		wbBuf:     make(map[uint64]mem.Line),
-		wbPending: make(map[uint64]int),
+		cfg:         cfg,
+		bus:         b,
+		client:      client,
+		counters:    counters,
+		l1:          cache.New(cfg.L1),
+		l2:          cache.New(cfg.L2),
+		mshrs:       cache.NewMSHRFile(cfg.MSHRs),
+		tsSilent:    make(map[uint64]bool),
+		wbBuf:       make(map[uint64]mem.Line),
+		wbPending:   make(map[uint64]int),
+		validatedAt: make(map[uint64]uint64),
+		hOccMSHR:    counters.Hist("occ/mshr"),
+		hOccSB:      counters.Hist("occ/storebuf"),
+		hVreuse:     counters.Hist("lat/validate_reuse"),
 	}
 	if cfg.MESTI {
 		c.detector = cfg.Detector
@@ -103,6 +122,28 @@ func NewController(cfg Config, b *bus.Bus, client Client, counters *stats.Counte
 
 // ID returns the node id on the bus.
 func (c *Controller) ID() int { return c.id }
+
+// SetTracer attaches the event tracer (nil disables tracing).
+func (c *Controller) SetTracer(tr *trace.Tracer) { c.tr = tr }
+
+// traceState emits a protocol state-transition event.
+func (c *Controller) traceState(la uint64, from, to State) {
+	c.tr.Emit(trace.Event{Kind: trace.KState, Node: int32(c.id), Addr: la, A: from, B: to})
+}
+
+// noteReuse observes the validate-to-reuse distance on the first local
+// access to a line a snooped validate revalidated. The len guard keeps
+// the common case (no outstanding validated lines) to a single
+// comparison on the load hit path.
+func (c *Controller) noteReuse(la uint64) {
+	if len(c.validatedAt) == 0 {
+		return
+	}
+	if at, ok := c.validatedAt[la]; ok {
+		c.hVreuse.Observe(c.now - at)
+		delete(c.validatedAt, la)
+	}
+}
 
 // Config returns the controller configuration.
 func (c *Controller) Config() Config { return c.cfg }
@@ -147,6 +188,7 @@ func (c *Controller) Load(seq uint64, addr uint64, isLL bool) LoadResult {
 		}
 		c.l1.Touch(l1line)
 		c.count("l1/hit")
+		c.noteReuse(la)
 		if l2line.State == StateVS {
 			// unreachable by the inclusion invariant (VS lines are
 			// never L1-resident) but kept as defense in depth
@@ -170,6 +212,7 @@ func (c *Controller) Load(seq uint64, addr uint64, isLL bool) LoadResult {
 		}
 		c.l2.Touch(l2line)
 		c.count("l2/hit")
+		c.noteReuse(la)
 		c.fillL1(la)
 		if isLL {
 			c.setReservation(la)
@@ -211,6 +254,7 @@ func (c *Controller) Load(seq uint64, addr uint64, isLL bool) LoadResult {
 		w.GotSpec = true
 		m.Waiters = append(m.Waiters, w)
 		c.count("lvp/spec_deliver")
+		c.tr.Emit(trace.Event{Kind: trace.KLVPPredict, Node: int32(c.id), Addr: addr, Arg: v})
 		return LoadResult{Status: LoadSpec, Value: v, Lat: c.cfg.L1Latency + c.cfg.L2Latency}
 	}
 	m.Waiters = append(m.Waiters, w)
@@ -257,10 +301,13 @@ func (c *Controller) HasReservation(lineAddr uint64) bool {
 // Tick: store buffer drain
 // ---------------------------------------------------------------------------
 
-// Tick advances the controller one cycle: it tries to perform the
-// store at the head of the store buffer.
+// Tick advances the controller one cycle: it samples the occupancy
+// histograms and tries to perform the store at the head of the store
+// buffer.
 func (c *Controller) Tick(now uint64) {
-	_ = now
+	c.now = now
+	c.hOccMSHR.Observe(uint64(c.mshrs.InUse()))
+	c.hOccSB.Observe(uint64(len(c.storeBuf)))
 	c.tickStore()
 }
 
@@ -277,6 +324,7 @@ func (c *Controller) tickStore() {
 	if e.waiting {
 		return // permission transaction outstanding
 	}
+	c.noteReuse(la) // a store is a use of a revalidated line too
 	l2line := c.l2.Lookup(la)
 
 	// Upgradable: dataless Upgrade.
@@ -414,6 +462,7 @@ func (c *Controller) performStore(l *cache.Line, e *storeEntry, slot int) {
 		// previous globally visible value.
 		c.tsSilent[la] = true
 		c.count("mesti/ts_detect")
+		c.tr.Emit(trace.Event{Kind: trace.KTSDetect, Node: int32(c.id), Addr: la})
 		send := true
 		if c.vpred != nil {
 			send = c.vpred.OnTSDetect(la)
@@ -422,8 +471,10 @@ func (c *Controller) performStore(l *cache.Line, e *storeEntry, slot int) {
 			t := &bus.Txn{Type: bus.TxnValidate, Addr: la, Src: c.id, WData: l.Data}
 			c.bus.Request(t)
 			c.count("mesti/validate_requested")
+			c.tr.Emit(trace.Event{Kind: trace.KValIssue, Node: int32(c.id), Addr: la})
 		} else {
 			c.count("mesti/validate_suppressed")
+			c.tr.Emit(trace.Event{Kind: trace.KValSuppress, Node: int32(c.id), Addr: la})
 		}
 	case !nowSilent && prevSilent:
 		// The silent period ended with a store that needed no bus
@@ -545,6 +596,9 @@ func (c *Controller) evictL2(victim *cache.Line) {
 		c.count("l2/evict_clean")
 	}
 	delete(c.tsSilent, la)
+	if len(c.validatedAt) > 0 {
+		delete(c.validatedAt, la)
+	}
 	if c.detector != nil {
 		c.detector.Drop(la)
 	}
@@ -602,6 +656,20 @@ func (c *Controller) DebugMSHRs() string {
 	if len(c.storeBuf) > 0 {
 		out += fmt.Sprintf("  storeBuf=%d head={addr=%#x sc=%v waiting=%v}\n",
 			len(c.storeBuf), c.storeBuf[0].addr, c.storeBuf[0].isSC, c.storeBuf[0].waiting)
+	}
+	return out
+}
+
+// DebugStoreBuf renders every buffered store (post-mortem dumps).
+func (c *Controller) DebugStoreBuf() string {
+	if len(c.storeBuf) == 0 {
+		return ""
+	}
+	out := fmt.Sprintf("  storeBuf (%d entries):\n", len(c.storeBuf))
+	for i, e := range c.storeBuf {
+		st := c.LineState(e.addr)
+		out += fmt.Sprintf("    [%d] seq=%d pc=%d addr=%#x val=%d sc=%v waiting=%v line=%s\n",
+			i, e.seq, e.pc, e.addr, e.val, e.isSC, e.waiting, StateName(st))
 	}
 	return out
 }

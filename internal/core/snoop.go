@@ -6,6 +6,7 @@ import (
 	"tssim/internal/bus"
 	"tssim/internal/cache"
 	"tssim/internal/mem"
+	"tssim/internal/trace"
 )
 
 // This file implements the bus.Port interface: the protocol's
@@ -28,6 +29,7 @@ func (c *Controller) GrantTxn(t *bus.Txn) bool {
 		l := c.l2.Lookup(la)
 		if l == nil || !Dirty(l.State) || !c.tsSilent[la] {
 			c.count("mesti/validate_cancelled")
+			c.tr.Emit(trace.Event{Kind: trace.KValCancel, Node: int32(c.id), Addr: la})
 			return false
 		}
 		if !l.Data.Equal(&t.WData) {
@@ -38,6 +40,7 @@ func (c *Controller) GrantTxn(t *bus.Txn) bool {
 		// The validating processor foregoes exclusive access: the
 		// reverted value becomes globally visible again and this
 		// node remains the (shared) owner of the dirty line.
+		c.traceState(la, l.State, StateO)
 		l.State = StateO
 		return true
 
@@ -64,6 +67,7 @@ func (c *Controller) GrantTxn(t *bus.Txn) bool {
 				c.detector.SaveStale(la, l.Data)
 			}
 		}
+		c.traceState(la, l.State, StateM)
 		l.State = StateM
 		// The write this upgrade was fetched for is ordered here, at
 		// the serialization point: perform it immediately so snoops a
@@ -115,12 +119,14 @@ func (c *Controller) SnoopTxn(t *bus.Txn) bus.SnoopReply {
 		case StateM:
 			reply.Shared = true
 			reply.Data = &l.Data
+			c.traceState(la, StateM, StateO)
 			l.State = StateO
 		case StateO:
 			reply.Shared = true
 			reply.Data = &l.Data
 		case StateE:
 			reply.Shared = true
+			c.traceState(la, StateE, StateS)
 			l.State = StateS
 		case StateS, StateVS:
 			// VS asserts shared on Reads: the requester must not
@@ -177,10 +183,13 @@ func (c *Controller) SnoopTxn(t *bus.Txn) bus.SnoopReply {
 					l.State = StateS
 				}
 				c.count("mesti/revalidate")
+				c.traceState(la, StateT, l.State)
+				c.validatedAt[la] = c.now
 			} else {
 				// The candidate belongs to an older visibility
 				// epoch (an intervening owner changed the line and
 				// wrote it back); it cannot be revalidated.
+				c.traceState(la, StateT, StateI)
 				l.State = StateI
 				c.count("mesti/validate_mismatch")
 			}
@@ -209,16 +218,22 @@ func (c *Controller) trainExternalReq(la uint64, _ State) {
 // tag-match-invalid predictions, permission gone either way).
 func (c *Controller) enterT(l *cache.Line) {
 	la := l.Addr
+	from := l.State
 	if c.cfg.MESTI {
 		l.State = StateT
 		c.count("mesti/enter_t")
 	} else {
 		l.State = StateI
 	}
+	c.traceState(la, from, l.State)
 	// This node is no longer the writer: its silence bookkeeping and
 	// reversion candidate (if it was the owner) are dead, and the L1
-	// loses the line (inclusion of permission).
+	// loses the line (inclusion of permission). A pending
+	// validate-to-reuse measurement dies with the permission.
 	delete(c.tsSilent, la)
+	if len(c.validatedAt) > 0 {
+		delete(c.validatedAt, la)
+	}
 	if c.detector != nil {
 		c.detector.Drop(la)
 	}
@@ -243,12 +258,14 @@ func (c *Controller) CompleteTxn(t *bus.Txn) {
 		if t.Shared || t.Owned {
 			state = StateS
 		}
+		c.traceState(la, c.LineState(la), state)
 		c.installL2(la, t.Data, state)
 		c.fillL1(la)
 		c.classifyMiss(t)
 		c.serveMSHR(t)
 
 	case bus.TxnReadX:
+		c.traceState(la, c.LineState(la), StateM)
 		l := c.installL2(la, t.Data, StateM)
 		_ = l
 		if c.detector != nil {
@@ -268,6 +285,11 @@ func (c *Controller) CompleteTxn(t *bus.Txn) {
 		// useless.
 		if c.vpred != nil {
 			c.vpred.OnUsefulResponse(la, t.Shared)
+			if t.Shared {
+				c.tr.Emit(trace.Event{Kind: trace.KValUseful, Node: int32(c.id), Addr: la})
+			} else {
+				c.tr.Emit(trace.Event{Kind: trace.KValUseless, Node: int32(c.id), Addr: la})
+			}
 		}
 		if m := c.mshrs.Lookup(la); m != nil {
 			switch {
@@ -304,8 +326,10 @@ func (c *Controller) CompleteTxn(t *bus.Txn) {
 func (c *Controller) classifyMiss(t *bus.Txn) {
 	if t.Owned {
 		c.count("miss/comm")
+		c.tr.Emit(trace.Event{Kind: trace.KMiss, Node: int32(c.id), Addr: t.Addr, A: 1})
 	} else {
 		c.count("miss/mem")
+		c.tr.Emit(trace.Event{Kind: trace.KMiss, Node: int32(c.id), Addr: t.Addr, A: 0})
 	}
 }
 
@@ -332,6 +356,7 @@ func (c *Controller) serveMSHR(t *bus.Txn) {
 		// holding speculative data (§3.2's slightly pessimistic
 		// single-index recovery; the core resolves liveness).
 		c.count("lvp/verify_fail")
+		c.tr.Emit(trace.Event{Kind: trace.KLVPSquash, Node: int32(c.id), Addr: t.Addr})
 		var specSeqs []uint64
 		for _, w := range m.Waiters {
 			if w.GotSpec {
@@ -341,6 +366,7 @@ func (c *Controller) serveMSHR(t *bus.Txn) {
 		c.client.SquashSpec(specSeqs)
 	} else if m.SpecDelivered {
 		c.count("lvp/verify_ok")
+		c.tr.Emit(trace.Event{Kind: trace.KLVPVerifyOK, Node: int32(c.id), Addr: t.Addr})
 	}
 	var verified []uint64
 	for _, w := range m.Waiters {

@@ -16,6 +16,7 @@ import (
 	"tssim/internal/mem"
 	"tssim/internal/predictor"
 	"tssim/internal/stats"
+	"tssim/internal/trace"
 )
 
 // MemSystem is the memory-side interface the core drives; implemented
@@ -192,6 +193,7 @@ type Core struct {
 	prog     *isa.Program
 	memsys   MemSystem
 	counters *stats.Counters
+	tr       *trace.Tracer
 
 	now     uint64
 	nextSeq uint64
@@ -271,6 +273,9 @@ func (c *Core) SetMemSystem(m MemSystem) { c.memsys = m }
 
 // EnableChecker turns on in-order commit checking (tests).
 func (c *Core) EnableChecker() { c.checker = true }
+
+// SetTracer attaches the event tracer (nil disables tracing).
+func (c *Core) SetTracer(tr *trace.Tracer) { c.tr = tr }
 
 // Halted reports whether the program has fully retired its halt.
 func (c *Core) Halted() bool { return c.halted }

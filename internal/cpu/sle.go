@@ -7,6 +7,7 @@ import (
 	"tssim/internal/isa"
 	"tssim/internal/mem"
 	"tssim/internal/predictor"
+	"tssim/internal/trace"
 )
 
 // sleEngine implements speculative lock elision (§4) with in-core
@@ -135,6 +136,7 @@ func (s *sleEngine) tryStart(e *entry) bool {
 	e.result = 1
 	s.core.broadcast(e)
 	s.core.count("sle/attempt")
+	s.core.tr.Emit(trace.Event{Kind: trace.KSLEElide, Node: int32(s.core.id), Addr: s.lockAddr})
 	return true
 }
 
@@ -316,6 +318,8 @@ func (s *sleEngine) tick() {
 	s.pred.Record(pc, predictor.ElisionSuccess)
 	s.consecFails[pc] = 0
 	s.core.count("sle/success")
+	s.core.tr.Emit(trace.Event{Kind: trace.KSLECommit, Node: int32(s.core.id), Addr: s.lockAddr,
+		Arg: uint64(releaseIdx + 1)})
 }
 
 // abort ends the attempt: record the outcome, squash back to the SC,
@@ -334,6 +338,8 @@ func (s *sleEngine) abort(outcome predictor.ElisionOutcome) {
 		s.consecFails[pc] = 0
 	}
 	s.core.count("sle/abort_" + outcome.String())
+	s.core.tr.Emit(trace.Event{Kind: trace.KSLEAbort, Node: int32(s.core.id), Addr: s.lockAddr,
+		A: uint8(outcome)})
 	s.core.squashAfter(scSeq-1, scPC)
 }
 

@@ -13,7 +13,6 @@ package experiments
 
 import (
 	"fmt"
-	"sort"
 
 	"tssim/internal/cache"
 	"tssim/internal/predictor"
@@ -302,15 +301,25 @@ func CountersDump(p Params, name string, tech sim.Techniques) string {
 		return err.Error()
 	}
 	r := sim.RunOne(p.config(tech), w)
-	keys := make([]string, 0, len(r.Counters))
-	for k := range r.Counters {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
 	out := fmt.Sprintf("%s under %s: cycles=%d retired=%d IPC=%.3f finished=%v\n",
 		name, tech, r.Cycles, r.Retired, r.IPC(), r.Finished)
-	for _, k := range keys {
+	for _, k := range r.Stats.Names() {
 		out += fmt.Sprintf("  %-34s %d\n", k, r.Counters[k])
 	}
+	out += r.Stats.HistString()
 	return out
+}
+
+// DumpReport runs one workload under one technique and returns the
+// machine-readable report (the library form of `experiments -dump
+// -report`).
+func DumpReport(p Params, name string, tech sim.Techniques) (sim.Report, error) {
+	p = p.withDefaults()
+	w, err := workload.ByName(name, p.workloadParams())
+	if err != nil {
+		return sim.Report{}, err
+	}
+	cfg := p.config(tech)
+	r := sim.RunOne(cfg, w)
+	return sim.NewReport(cfg, r), nil
 }

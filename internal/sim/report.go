@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"tssim/internal/bus"
+	"tssim/internal/cache"
+	"tssim/internal/cpu"
+	"tssim/internal/stats"
+)
+
+// ReportSchema versions the machine-readable run report. Consumers
+// (benchmark trackers, CI diffing) should check it before parsing.
+const ReportSchema = "tssim-report/v1"
+
+// ReportConfig is the serializable subset of Config: everything that
+// determines a run except non-marshalable hooks (detector factories,
+// writers, tracers).
+type ReportConfig struct {
+	CPUs             int          `json:"cpus"`
+	Seed             int64        `json:"seed"`
+	MaxCycles        uint64       `json:"max_cycles"`
+	NoProgressCycles uint64       `json:"no_progress_cycles"`
+	L1               cache.Config `json:"l1"`
+	L2               cache.Config `json:"l2"`
+	L1Latency        int          `json:"l1_latency"`
+	L2Latency        int          `json:"l2_latency"`
+	MSHRs            int          `json:"mshrs"`
+	StoreBuf         int          `json:"store_buf"`
+	Bus              bus.Config   `json:"bus"`
+	Core             cpu.Config   `json:"core"`
+}
+
+// Report is one run's machine-readable record: configuration, headline
+// outcome, the full counter namespace, and every histogram. Benches
+// and CI diff these files across commits (BENCH_*.json trajectory
+// tracking), and EXPERIMENTS.md tables can be regenerated from them.
+type Report struct {
+	Schema     string                        `json:"schema"`
+	Workload   string                        `json:"workload"`
+	Tech       string                        `json:"tech"`
+	Config     ReportConfig                  `json:"config"`
+	Cycles     uint64                        `json:"cycles"`
+	Retired    uint64                        `json:"retired"`
+	IPC        float64                       `json:"ipc"`
+	Finished   bool                          `json:"finished"`
+	PerCPU     []uint64                      `json:"retired_per_cpu"`
+	Counters   map[string]uint64             `json:"counters"`
+	Histograms map[string]stats.HistSnapshot `json:"histograms"`
+}
+
+// NewReport assembles the report for a completed run.
+func NewReport(cfg Config, r Result) Report {
+	return Report{
+		Schema:   ReportSchema,
+		Workload: r.Workload,
+		Tech:     r.Tech.String(),
+		Config: ReportConfig{
+			CPUs:             cfg.CPUs,
+			Seed:             cfg.Seed,
+			MaxCycles:        cfg.MaxCycles,
+			NoProgressCycles: cfg.NoProgressCycles,
+			L1:               cfg.Node.L1,
+			L2:               cfg.Node.L2,
+			L1Latency:        cfg.Node.L1Latency,
+			L2Latency:        cfg.Node.L2Latency,
+			MSHRs:            cfg.Node.MSHRs,
+			StoreBuf:         cfg.Node.StoreBuf,
+			Bus:              cfg.Bus,
+			Core:             cfg.Core,
+		},
+		Cycles:     r.Cycles,
+		Retired:    r.Retired,
+		IPC:        r.IPC(),
+		Finished:   r.Finished,
+		PerCPU:     r.PerCPU,
+		Counters:   r.Counters,
+		Histograms: r.Hists,
+	}
+}
+
+// Write renders the report as indented JSON to w.
+func (r Report) Write(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteFile writes the report to path.
+func (r Report) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("sim: writing report %s: %w", path, err)
+	}
+	return f.Close()
+}

@@ -11,7 +11,9 @@ package sim
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
+	"os"
 
 	"tssim/internal/bus"
 	"tssim/internal/cache"
@@ -20,6 +22,7 @@ import (
 	"tssim/internal/mem"
 	"tssim/internal/stale"
 	"tssim/internal/stats"
+	"tssim/internal/trace"
 	"tssim/internal/workload"
 )
 
@@ -89,6 +92,21 @@ type Config struct {
 	// MaxCycles bounds a run (0 = DefaultMaxCycles).
 	MaxCycles uint64
 
+	// NoProgressCycles is the deadlock watchdog threshold: if no
+	// instruction retires machine-wide for this many cycles the run
+	// dumps a post-mortem and panics (0 = DefaultNoProgressCycles).
+	// Tests tighten it to exercise the watchdog quickly.
+	NoProgressCycles uint64
+
+	// Trace, when non-nil, receives every coherence/speculation event
+	// (see internal/trace). Nil disables tracing entirely: the hot
+	// paths then pay only a nil check per event site.
+	Trace *trace.Tracer
+
+	// PostMortemTo overrides where the watchdog post-mortem dump is
+	// written (nil = os.Stderr).
+	PostMortemTo io.Writer
+
 	// CheckCommits enables the in-order commit checker on every core.
 	CheckCommits bool
 
@@ -101,6 +119,11 @@ type Config struct {
 
 // DefaultMaxCycles bounds runaway workloads.
 const DefaultMaxCycles = 50_000_000
+
+// DefaultNoProgressCycles is the deadlock watchdog threshold: the
+// paper-scale interconnect round-trips in ~10^3 cycles, so 2M cycles
+// with zero retirements machine-wide is unambiguous livelock.
+const DefaultNoProgressCycles = 2_000_000
 
 // DefaultConfig returns the scaled 4-processor machine of Table 1.
 func DefaultConfig() Config {
@@ -139,6 +162,14 @@ type Result struct {
 	PerCPU   []uint64
 	Finished bool // all CPUs halted before MaxCycles
 	Counters map[string]uint64
+
+	// Hists summarizes every histogram collected during the run
+	// (miss-service latency, bus wait, occupancies, validate reuse).
+	Hists map[string]stats.HistSnapshot
+
+	// Stats is the live counter/histogram set the run collected on;
+	// reports and verbose CLI output read it directly.
+	Stats *stats.Counters
 }
 
 // IPC returns aggregate committed instructions per cycle across all
@@ -182,6 +213,7 @@ func New(cfg Config, w Workload) *System {
 		rng = rand.New(rand.NewSource(cfg.Seed))
 	}
 	s.Bus = bus.New(cfg.Bus, s.Mem, s.Counters, rng)
+	s.Bus.SetTracer(cfg.Trace)
 
 	nodeCfg := cfg.Node
 	nodeCfg.MESTI = cfg.Tech.MESTI || cfg.Tech.EMESTI
@@ -200,7 +232,9 @@ func New(cfg Config, w Workload) *System {
 			nc.Detector = cfg.StaleDetector(i)
 		}
 		c := cpu.New(coreCfg, i, w.Programs[i], nil, s.Counters)
+		c.SetTracer(cfg.Trace)
 		ctrl := core.NewController(nc, s.Bus, c, s.Counters)
+		ctrl.SetTracer(cfg.Trace)
 		c.SetMemSystem(ctrl)
 		if cfg.CheckCommits {
 			c.EnableChecker()
@@ -213,6 +247,7 @@ func New(cfg Config, w Workload) *System {
 
 // Step advances the whole machine one cycle.
 func (s *System) Step() {
+	s.cfg.Trace.Advance(s.now)
 	s.Bus.Tick(s.now)
 	for _, n := range s.Nodes {
 		n.Tick(s.now)
@@ -228,6 +263,10 @@ func (s *System) Step() {
 func (s *System) Run(w Workload) Result {
 	var lastRetired uint64
 	lastProgress := uint64(0)
+	watchdog := s.cfg.NoProgressCycles
+	if watchdog == 0 {
+		watchdog = DefaultNoProgressCycles
+	}
 	for s.now < s.cfg.MaxCycles {
 		allHalted := true
 		var retired uint64
@@ -240,9 +279,15 @@ func (s *System) Run(w Workload) Result {
 		if retired != lastRetired {
 			lastRetired = retired
 			lastProgress = s.now
-		} else if s.now-lastProgress > 2_000_000 {
-			panic(fmt.Sprintf("sim: no instruction retired for 2M cycles at cycle %d (workload %q, tech %s) — deadlock",
-				s.now, w.Name, s.cfg.Tech))
+		} else if s.now-lastProgress > watchdog {
+			reason := fmt.Sprintf("no instruction retired for %d cycles at cycle %d (workload %q, tech %s) — deadlock",
+				watchdog, s.now, w.Name, s.cfg.Tech)
+			out := s.cfg.PostMortemTo
+			if out == nil {
+				out = os.Stderr
+			}
+			s.PostMortem(out, reason)
+			panic("sim: " + reason)
 		}
 		if allHalted && s.Bus.Idle() && s.storeBuffersEmpty() {
 			break
@@ -254,6 +299,8 @@ func (s *System) Run(w Workload) Result {
 		Tech:     s.cfg.Tech,
 		Cycles:   s.now,
 		Counters: s.Counters.Snapshot(),
+		Hists:    s.Counters.HistSnapshots(),
+		Stats:    s.Counters,
 	}
 	res.Finished = true
 	for _, c := range s.Cores {

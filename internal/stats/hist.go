@@ -1,0 +1,229 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// histBuckets is the fixed bucket count of a log2 histogram: bucket 0
+// holds the value 0, bucket i (i ≥ 1) holds values in [2^(i-1), 2^i).
+// 65 buckets cover the full uint64 range with no configuration and no
+// allocation.
+const histBuckets = 65
+
+// Hist is a log2-bucketed histogram of uint64 observations — latency
+// in cycles, queue occupancy, distances. It is fixed-size (no
+// allocation on Observe) and cheap enough to update on hot paths:
+// bucket selection is a single bits.Len64.
+//
+// The zero value is ready to use.
+type Hist struct {
+	n, sum   uint64
+	min, max uint64
+	counts   [histBuckets]uint64
+}
+
+// Observe records one value.
+func (h *Hist) Observe(v uint64) {
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+	h.counts[bits.Len64(v)]++
+}
+
+// N returns the number of observations.
+func (h *Hist) N() uint64 { return h.n }
+
+// Sum returns the sum of all observations.
+func (h *Hist) Sum() uint64 { return h.sum }
+
+// Min returns the smallest observation (0 when empty).
+func (h *Hist) Min() uint64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Hist) Max() uint64 { return h.max }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *Hist) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// BucketLo returns the smallest value falling in bucket i.
+func BucketLo(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	return 1 << uint(i-1)
+}
+
+// BucketHi returns the largest value falling in bucket i.
+func BucketHi(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 64 {
+		return math.MaxUint64
+	}
+	return 1<<uint(i) - 1
+}
+
+// Quantile returns an upper bound on the q-quantile (0 ≤ q ≤ 1): the
+// top of the bucket the quantile falls in, clamped to the observed
+// max. Bucket resolution makes it exact to within a factor of 2.
+func (h *Hist) Quantile(q float64) uint64 {
+	if h.n == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.n)))
+	if target < 1 {
+		target = 1
+	}
+	if target > h.n {
+		target = h.n
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.counts[i]
+		if cum >= target {
+			hi := BucketHi(i)
+			if hi > h.max {
+				hi = h.max
+			}
+			return hi
+		}
+	}
+	return h.max
+}
+
+// Merge adds every observation of other into h.
+func (h *Hist) Merge(other *Hist) {
+	if other.n == 0 {
+		return
+	}
+	if h.n == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.n += other.n
+	h.sum += other.sum
+	for i := range h.counts {
+		h.counts[i] += other.counts[i]
+	}
+}
+
+// HistBucket is one non-empty bucket of a snapshot: Count observations
+// fell in [Lo, Hi].
+type HistBucket struct {
+	Lo    uint64 `json:"lo"`
+	Hi    uint64 `json:"hi"`
+	Count uint64 `json:"count"`
+}
+
+// HistSnapshot is a serializable summary of a histogram: moments,
+// quantile bounds, and the non-empty buckets.
+type HistSnapshot struct {
+	N       uint64       `json:"n"`
+	Sum     uint64       `json:"sum"`
+	Min     uint64       `json:"min"`
+	Max     uint64       `json:"max"`
+	Mean    float64      `json:"mean"`
+	P50     uint64       `json:"p50"`
+	P90     uint64       `json:"p90"`
+	P99     uint64       `json:"p99"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot summarizes the histogram for reports.
+func (h *Hist) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		N:    h.n,
+		Sum:  h.sum,
+		Min:  h.Min(),
+		Max:  h.max,
+		Mean: h.Mean(),
+		P50:  h.Quantile(0.50),
+		P90:  h.Quantile(0.90),
+		P99:  h.Quantile(0.99),
+	}
+	for i, c := range h.counts {
+		if c > 0 {
+			s.Buckets = append(s.Buckets, HistBucket{Lo: BucketLo(i), Hi: BucketHi(i), Count: c})
+		}
+	}
+	return s
+}
+
+// String renders a one-line summary.
+func (h *Hist) String() string {
+	if h.n == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.1f min=%d p50≤%d p90≤%d p99≤%d max=%d",
+		h.n, h.Mean(), h.Min(), h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99), h.max)
+}
+
+// ---------------------------------------------------------------------------
+// Histogram registry on Counters
+// ---------------------------------------------------------------------------
+
+// Hist returns the named histogram, creating it on first use.
+// Components fetch their histograms once at construction and hold the
+// pointer, keeping the hot path free of map lookups. Histogram names
+// share the slash-separated namespace of counters ("lat/miss_service",
+// "occ/mshr").
+func (c *Counters) Hist(name string) *Hist {
+	h := c.hists[name]
+	if h == nil {
+		h = &Hist{}
+		c.hists[name] = h
+	}
+	return h
+}
+
+// HistNames returns all histogram names in sorted order.
+func (c *Counters) HistNames() []string {
+	names := make([]string, 0, len(c.hists))
+	for k := range c.hists {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HistSnapshots summarizes every registered histogram (including
+// empty ones, so reports always carry the full metric schema).
+func (c *Counters) HistSnapshots() map[string]HistSnapshot {
+	out := make(map[string]HistSnapshot, len(c.hists))
+	for k, h := range c.hists {
+		out[k] = h.Snapshot()
+	}
+	return out
+}
+
+// HistString renders every registered histogram, one per line
+// (verbose CLI output).
+func (c *Counters) HistString() string {
+	var b strings.Builder
+	for _, name := range c.HistNames() {
+		fmt.Fprintf(&b, "  %-24s %s\n", name, c.hists[name].String())
+	}
+	return b.String()
+}

@@ -17,12 +17,13 @@ import (
 // controller, core, predictor) increments counters on a shared set so
 // experiments can read one flat namespace.
 type Counters struct {
-	m map[string]uint64
+	m     map[string]uint64
+	hists map[string]*Hist
 }
 
 // NewCounters returns an empty counter set.
 func NewCounters() *Counters {
-	return &Counters{m: make(map[string]uint64)}
+	return &Counters{m: make(map[string]uint64), hists: make(map[string]*Hist)}
 }
 
 // Inc adds one to the named counter.
@@ -58,10 +59,13 @@ func (c *Counters) Snapshot() map[string]uint64 {
 	return out
 }
 
-// Merge adds every counter in other into c.
+// Merge adds every counter and histogram in other into c.
 func (c *Counters) Merge(other *Counters) {
 	for k, v := range other.m {
 		c.m[k] += v
+	}
+	for k, h := range other.hists {
+		c.Hist(k).Merge(h)
 	}
 }
 
