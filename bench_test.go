@@ -11,7 +11,9 @@ package main
 
 import (
 	"io"
+	"runtime"
 	"testing"
+	"time"
 
 	"tssim/internal/experiments"
 	"tssim/internal/sim"
@@ -92,6 +94,45 @@ func BenchmarkFig7_TPCH_LVP(b *testing.B) {
 
 func BenchmarkFig7_TPCB_AllCombined(b *testing.B) {
 	runPair(b, "tpc-b", sim.Techniques{MESTI: true, EMESTI: true, LVP: true, SLE: true})
+}
+
+// --- Figure 7 matrix wall-clock: serial vs parallel run manager ---
+//
+// The full Fig 7 sweep (7 workloads × 9 combos × seeds) is the
+// harness's dominant wall-clock cost; the parallel Runner fans the
+// independent runs across GOMAXPROCS workers. BenchmarkFig7_Serial
+// pins the pool to one worker; BenchmarkFig7_Parallel uses the
+// default pool and reports `parallel-speedup` — serial wall-clock over
+// parallel wall-clock for the identical job matrix (the rendered
+// tables are byte-identical, per TestParallelExperimentsIdentical).
+// Expect ≥ 2× at GOMAXPROCS ≥ 4; on a single-core host it degrades
+// gracefully to ~1×.
+
+func fig7BenchParams(jobs int) experiments.Params {
+	return experiments.Params{CPUs: 4, Scale: 1, Seeds: 1, Jobs: jobs}
+}
+
+func BenchmarkFig7_Serial(b *testing.B) {
+	p := fig7BenchParams(1)
+	for i := 0; i < b.N; i++ {
+		_, _ = experiments.Fig7(p)
+	}
+}
+
+func BenchmarkFig7_Parallel(b *testing.B) {
+	// One serial pass outside the timer anchors the speedup metric.
+	start := time.Now()
+	_, _ = experiments.Fig7(fig7BenchParams(1))
+	serial := time.Since(start)
+
+	p := fig7BenchParams(0) // GOMAXPROCS workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = experiments.Fig7(p)
+	}
+	perIter := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.ReportMetric(float64(serial.Nanoseconds())/perIter, "parallel-speedup")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
 }
 
 // --- Figure 8: address-transaction breakdown ---

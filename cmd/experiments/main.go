@@ -30,9 +30,10 @@ func main() {
 		cpus     = flag.Int("cpus", 4, "number of CPUs")
 		scale    = flag.Int("scale", 2, "workload scale factor")
 		seeds    = flag.Int("seeds", 3, "runs per configuration (CI)")
+		jobs     = flag.Int("j", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	p := experiments.Params{CPUs: *cpus, Scale: *scale, Seeds: *seeds}
+	p := experiments.Params{CPUs: *cpus, Scale: *scale, Seeds: *seeds, Jobs: *jobs}
 
 	ran := false
 	if *table1 || *all {

@@ -67,6 +67,7 @@ func main() {
 		cpus    = flag.Int("cpus", 4, "number of CPUs")
 		scale   = flag.Int("scale", 1, "workload scale factor")
 		seeds   = flag.Int("seeds", 1, "runs with latency jitter (CI when > 1)")
+		jobs    = flag.Int("j", 0, "concurrent runs for -seeds > 1 (0 = GOMAXPROCS)")
 		verbose = flag.Bool("verbose", false, "dump all event counters and histograms")
 		check   = flag.Bool("check", false, "enable the in-order commit checker")
 
@@ -96,7 +97,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-trace and -report record a single run; use -seeds 1")
 			os.Exit(2)
 		}
-		s := sim.RunSample(cfg, w, *seeds)
+		s, err := sim.NewRunner().Jobs(*jobs).Sample(cfg, w, *seeds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		fmt.Printf("%s under %s: %d runs, cycles %.0f ±%.0f (95%% CI), min %.0f max %.0f\n",
 			w.Name, tech, s.N(), s.Mean(), s.CI95(), s.Min(), s.Max())
 		return

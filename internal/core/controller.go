@@ -38,6 +38,11 @@ type Controller struct {
 	hOccSB   *stats.Hist
 	hVreuse  *stats.Hist
 
+	// Occupancy sampling stride (cfg.OccSampleEvery with defaults
+	// applied) and the countdown to the next observation.
+	occEvery     uint64
+	occCountdown uint64
+
 	// validatedAt records, per line, the cycle a snooped validate
 	// revalidated it (T -> S/VS); the first local use observes the
 	// validate-to-reuse distance and clears the entry. Invalidation
@@ -82,21 +87,26 @@ func NewController(cfg Config, b *bus.Bus, client Client, counters *stats.Counte
 	if cfg.StoreBuf <= 0 {
 		cfg.StoreBuf = 16
 	}
+	if cfg.OccSampleEvery <= 0 {
+		cfg.OccSampleEvery = DefaultOccSampleEvery
+	}
 	c := &Controller{
-		cfg:         cfg,
-		bus:         b,
-		client:      client,
-		counters:    counters,
-		l1:          cache.New(cfg.L1),
-		l2:          cache.New(cfg.L2),
-		mshrs:       cache.NewMSHRFile(cfg.MSHRs),
-		tsSilent:    make(map[uint64]bool),
-		wbBuf:       make(map[uint64]mem.Line),
-		wbPending:   make(map[uint64]int),
-		validatedAt: make(map[uint64]uint64),
-		hOccMSHR:    counters.Hist("occ/mshr"),
-		hOccSB:      counters.Hist("occ/storebuf"),
-		hVreuse:     counters.Hist("lat/validate_reuse"),
+		cfg:          cfg,
+		bus:          b,
+		client:       client,
+		counters:     counters,
+		l1:           cache.New(cfg.L1),
+		l2:           cache.New(cfg.L2),
+		mshrs:        cache.NewMSHRFile(cfg.MSHRs),
+		tsSilent:     make(map[uint64]bool),
+		wbBuf:        make(map[uint64]mem.Line),
+		wbPending:    make(map[uint64]int),
+		validatedAt:  make(map[uint64]uint64),
+		hOccMSHR:     counters.Hist("occ/mshr"),
+		hOccSB:       counters.Hist("occ/storebuf"),
+		hVreuse:      counters.Hist("lat/validate_reuse"),
+		occEvery:     uint64(cfg.OccSampleEvery),
+		occCountdown: 1, // sample cycle 0 so short runs still populate
 	}
 	if cfg.MESTI {
 		c.detector = cfg.Detector
@@ -306,8 +316,11 @@ func (c *Controller) HasReservation(lineAddr uint64) bool {
 // buffer.
 func (c *Controller) Tick(now uint64) {
 	c.now = now
-	c.hOccMSHR.Observe(uint64(c.mshrs.InUse()))
-	c.hOccSB.Observe(uint64(len(c.storeBuf)))
+	if c.occCountdown--; c.occCountdown == 0 {
+		c.occCountdown = c.occEvery
+		c.hOccMSHR.Observe(uint64(c.mshrs.InUse()))
+		c.hOccSB.Observe(uint64(len(c.storeBuf)))
+	}
 	c.tickStore()
 }
 

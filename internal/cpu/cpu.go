@@ -233,6 +233,12 @@ type Core struct {
 	halted  bool
 	retired uint64
 
+	// Machine-wide aggregation hooks (see AttachMachine): bumped at
+	// the retirement event itself so the system's run loop never has
+	// to re-scan every core per cycle.
+	machRetired *uint64
+	machHalted  *int
+
 	// checker, when enabled, re-executes every committed instruction
 	// in order against the committed register file and panics on
 	// divergence (the PHARMsim-vs-SimOS validation idea).
@@ -273,6 +279,17 @@ func (c *Core) SetMemSystem(m MemSystem) { c.memsys = m }
 
 // EnableChecker turns on in-order commit checking (tests).
 func (c *Core) EnableChecker() { c.checker = true }
+
+// AttachMachine registers machine-wide aggregation targets: retired is
+// incremented once per committed instruction and halted once when this
+// core retires its Halt. The system run loop keeps its progress
+// watchdog and termination check O(1) per cycle by reading these
+// aggregates instead of scanning every core. Either pointer may be
+// nil.
+func (c *Core) AttachMachine(retired *uint64, halted *int) {
+	c.machRetired = retired
+	c.machHalted = halted
+}
 
 // SetTracer attaches the event tracer (nil disables tracing).
 func (c *Core) SetTracer(tr *trace.Tracer) { c.tr = tr }
@@ -371,6 +388,9 @@ func (c *Core) retireHead() {
 	}
 	if e.ins.Op == isa.OpHalt {
 		c.halted = true
+		if c.machHalted != nil {
+			*c.machHalted++
+		}
 	}
 	if e.isLoad {
 		c.count("cpu/loads")
@@ -378,6 +398,9 @@ func (c *Core) retireHead() {
 		c.count("cpu/stores")
 	}
 	c.retired++
+	if c.machRetired != nil {
+		*c.machRetired++
+	}
 	if c.checker {
 		c.checkCommit(e)
 	}

@@ -2,6 +2,7 @@ package cpu
 
 import (
 	"fmt"
+	"sort"
 
 	"tssim/internal/core"
 	"tssim/internal/isa"
@@ -284,7 +285,15 @@ func (s *sleEngine) tick() {
 
 	// Exclusive prefetch of the resolved write set (§5.1.3's
 	// "coherence transactions introduced to create atomic regions").
+	// Address order, not map order: prefetch requests enter the bus
+	// queue here, and the simulator guarantees identical runs for
+	// identical seeds.
+	lines := make([]uint64, 0, len(s.writeSet))
 	for line := range s.writeSet {
+		lines = append(lines, line)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, line := range lines {
 		if !s.core.memsys.HoldsWritable(line) {
 			s.core.memsys.PrefetchExclusive(line)
 		}

@@ -6,13 +6,23 @@
 // (address-transaction breakdown), plus the §4.2.3 SLE statistics and
 // the §2.4 predictor-tuning ablation.
 //
+// The evaluation matrix is embarrassingly parallel — workloads ×
+// technique combos × seeds — so every experiment flattens its runs
+// into a job list and fans them out through sim.Runner (Params.Jobs
+// bounds the pool; 0 means GOMAXPROCS). Results come back in job
+// order, so the rendered tables are byte-identical at any parallelism.
+// A run that deadlocks or fails validation marks its own cell ERR and
+// is reported in a FAILED footer; the rest of the sweep completes.
+//
 // The cmd/experiments binary and the repository benchmarks are both
 // thin wrappers over this package; EXPERIMENTS.md records the outputs
 // against the paper's numbers.
 package experiments
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 
 	"tssim/internal/cache"
 	"tssim/internal/predictor"
@@ -27,6 +37,7 @@ type Params struct {
 	CPUs  int
 	Scale int // workload iteration multiplier
 	Seeds int // runs per configuration for confidence intervals
+	Jobs  int // concurrent simulations (0 = GOMAXPROCS)
 }
 
 func (p Params) withDefaults() Params {
@@ -51,6 +62,26 @@ func (p Params) config(tech sim.Techniques) sim.Config {
 	cfg.CPUs = p.CPUs
 	cfg.Tech = tech
 	return cfg
+}
+
+func (p Params) runner() *sim.Runner {
+	return sim.NewRunner().Jobs(p.Jobs)
+}
+
+// errCell is the table cell rendered for a failed run; the FAILED
+// footer carries the full reason.
+const errCell = "ERR"
+
+// failNotes lists every failed cell of a sweep after its table, so a
+// livelocked configuration is reported rather than silently zero.
+func failNotes(results []sim.Result) string {
+	var b strings.Builder
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(&b, "FAILED %s under %s: %v\n", r.Workload, r.Tech, r.Err)
+		}
+	}
+	return b.String()
 }
 
 // Table1 renders the simulated machine parameters next to the paper's
@@ -78,11 +109,19 @@ func Table1() string {
 // the workload-characteristics table.
 func Table2(p Params) string {
 	p = p.withDefaults()
+	ws := workload.All(p.workloadParams())
+	jobs := make([]sim.Job, len(ws))
+	for i, w := range ws {
+		jobs[i] = sim.Job{Cfg: p.config(sim.Techniques{MESTI: true, EMESTI: true}), W: w}
+	}
+	results := p.runner().RunAll(jobs)
 	t := stats.NewTable("Program", "Instr", "Loads", "Stores", "US Stores", "TS Stores", "IPC")
-	for _, w := range workload.All(p.workloadParams()) {
-		cfg := p.config(sim.Techniques{MESTI: true, EMESTI: true})
-		r := sim.RunOne(cfg, w)
-		t.Row(w.Name,
+	for i, r := range results {
+		if r.Err != nil {
+			t.Row(ws[i].Name, errCell)
+			continue
+		}
+		t.Row(ws[i].Name,
 			fmt.Sprint(r.Retired),
 			fmt.Sprint(r.Counters["cpu/loads"]),
 			fmt.Sprint(r.Counters["cpu/stores"]),
@@ -90,7 +129,7 @@ func Table2(p Params) string {
 			fmt.Sprint(r.Counters["mesti/ts_detect"]),
 			stats.F(r.IPC()))
 	}
-	return t.String()
+	return t.String() + failNotes(results)
 }
 
 // Fig6 reproduces the stale-storage study: communication misses under
@@ -119,50 +158,97 @@ func Fig6(p Params) string {
 		}},
 		{"MESTI full stale", func(c *sim.Config) { c.Tech = sim.Techniques{MESTI: true} }},
 	}
+	ws := workload.All(p.workloadParams())
+	jobs := make([]sim.Job, 0, len(ws)*len(variants))
+	for _, w := range ws {
+		for _, v := range variants {
+			cfg := p.config(sim.Techniques{})
+			v.cfg(&cfg)
+			jobs = append(jobs, sim.Job{Cfg: cfg, W: w})
+		}
+	}
+	results := p.runner().RunAll(jobs)
 	header := []string{"Program"}
 	for _, v := range variants {
 		header = append(header, v.name)
 	}
 	t := stats.NewTable(header...)
-	for _, w := range workload.All(p.workloadParams()) {
+	for wi, w := range ws {
 		row := []string{w.Name}
-		for _, v := range variants {
-			cfg := p.config(sim.Techniques{})
-			v.cfg(&cfg)
-			r := sim.RunOne(cfg, w)
+		for vi := range variants {
+			r := results[wi*len(variants)+vi]
+			if r.Err != nil {
+				row = append(row, errCell)
+				continue
+			}
 			row = append(row, fmt.Sprint(r.Counters["miss/comm"]))
 		}
 		t.Row(row...)
 	}
-	return t.String()
+	return t.String() + failNotes(results)
 }
 
 // Fig7Result holds one workload's normalized performance under every
-// technique combination.
+// technique combination. Baseline is nil and Speedup entries are
+// absent for cells whose runs failed.
 type Fig7Result struct {
 	Workload string
 	Baseline *stats.Sample            // cycles
 	Speedup  map[string]*stats.Sample // tech label -> baseline/technique cycle ratios
 }
 
-// Fig7 runs the full performance-comparison matrix and returns both a
-// rendered table and the raw results (for benchmarks and tests).
+// Fig7 runs the full performance-comparison matrix — every workload ×
+// every technique combination × Seeds seeded runs, all as one parallel
+// job list — and returns both a rendered table and the raw results
+// (for benchmarks and tests).
 func Fig7(p Params) (string, []Fig7Result) {
 	p = p.withDefaults()
 	combos := sim.AllCombos()
+	ws := workload.All(p.workloadParams())
+	jobs := make([]sim.Job, 0, len(ws)*len(combos)*p.Seeds)
+	for _, w := range ws {
+		for _, tech := range combos {
+			jobs = append(jobs, sim.SampleJobs(p.config(tech), w, p.Seeds)...)
+		}
+	}
+	all := p.runner().RunAll(jobs)
+
 	header := []string{"Program"}
 	for _, c := range combos[1:] {
 		header = append(header, c.String())
 	}
 	t := stats.NewTable(header...)
 	var results []Fig7Result
-	for _, w := range workload.All(p.workloadParams()) {
-		res := Fig7Result{Workload: w.Name, Speedup: map[string]*stats.Sample{}}
-		base := sim.RunSample(p.config(combos[0]), w, p.Seeds)
-		res.Baseline = base
+	idx := 0
+	for _, w := range ws {
+		// Collapse each combo's seed runs into a sample; a combo with
+		// any failed seed yields a nil sample (ERR cell).
+		samples := make([]*stats.Sample, len(combos))
+		for ci := range combos {
+			s := &stats.Sample{}
+			ok := true
+			for si := 0; si < p.Seeds; si++ {
+				r := all[idx]
+				idx++
+				if r.Err != nil {
+					ok = false
+					continue
+				}
+				s.Add(float64(r.Cycles))
+			}
+			if ok {
+				samples[ci] = s
+			}
+		}
+		res := Fig7Result{Workload: w.Name, Baseline: samples[0], Speedup: map[string]*stats.Sample{}}
+		base := samples[0]
 		row := []string{w.Name}
-		for _, tech := range combos[1:] {
-			s := sim.RunSample(p.config(tech), w, p.Seeds)
+		for ci, tech := range combos[1:] {
+			s := samples[ci+1]
+			if base == nil || s == nil {
+				row = append(row, errCell)
+				continue
+			}
 			sp := &stats.Sample{}
 			// Ratios against the baseline mean keep the CI
 			// interpretable as spread of normalized runtime.
@@ -179,7 +265,7 @@ func Fig7(p Params) (string, []Fig7Result) {
 		t.Row(row...)
 		results = append(results, res)
 	}
-	return t.String(), results
+	return t.String() + failNotes(all), results
 }
 
 // Fig8 renders the address-transaction breakdown (Read/ReadX/Upgrade/
@@ -188,17 +274,29 @@ func Fig7(p Params) (string, []Fig7Result) {
 func Fig8(p Params) string {
 	p = p.withDefaults()
 	combos := sim.AllCombos()
-	t := stats.NewTable("Program", "Tech", "Read", "ReadX", "Upgrade", "Validate", "Total(norm)")
-	for _, w := range workload.All(p.workloadParams()) {
-		var baseTotal float64
+	ws := workload.All(p.workloadParams())
+	jobs := make([]sim.Job, 0, len(ws)*len(combos))
+	for _, w := range ws {
 		for _, tech := range combos {
-			r := sim.RunOne(p.config(tech), w)
+			jobs = append(jobs, sim.Job{Cfg: p.config(tech), W: w})
+		}
+	}
+	results := p.runner().RunAll(jobs)
+	t := stats.NewTable("Program", "Tech", "Read", "ReadX", "Upgrade", "Validate", "Total(norm)")
+	for wi, w := range ws {
+		var baseTotal float64
+		for ci, tech := range combos {
+			r := results[wi*len(combos)+ci]
+			if r.Err != nil {
+				t.Row(w.Name, tech.String(), errCell)
+				continue
+			}
 			rd := r.Counters["bus/txn/read"]
 			rx := r.Counters["bus/txn/readx"]
 			up := r.Counters["bus/txn/upgrade"]
 			va := r.Counters["bus/txn/validate"]
 			total := float64(rd + rx + up + va)
-			if tech == combos[0] {
+			if ci == 0 {
 				baseTotal = total
 			}
 			norm := 0.0
@@ -209,17 +307,26 @@ func Fig8(p Params) string {
 				fmt.Sprint(up), fmt.Sprint(va), stats.F(norm))
 		}
 	}
-	return t.String()
+	return t.String() + failNotes(results)
 }
 
 // SLEStats reproduces the §4.2.3/§5.3.1 elision statistics: attempts,
 // successes, and the failure-mode breakdown per workload.
 func SLEStats(p Params) string {
 	p = p.withDefaults()
+	ws := workload.All(p.workloadParams())
+	jobs := make([]sim.Job, len(ws))
+	for i, w := range ws {
+		jobs[i] = sim.Job{Cfg: p.config(sim.Techniques{SLE: true}), W: w}
+	}
+	results := p.runner().RunAll(jobs)
 	t := stats.NewTable("Program", "SC ops", "Attempts", "Success", "NoRelease", "Conflict", "Overflow", "Unsafe", "Filtered")
-	for _, w := range workload.All(p.workloadParams()) {
-		r := sim.RunOne(p.config(sim.Techniques{SLE: true}), w)
-		t.Row(w.Name,
+	for i, r := range results {
+		if r.Err != nil {
+			t.Row(ws[i].Name, errCell)
+			continue
+		}
+		t.Row(ws[i].Name,
 			fmt.Sprint(r.Counters["cpu/sc_issued"]+r.Counters["sle/attempt"]),
 			fmt.Sprint(r.Counters["sle/attempt"]),
 			fmt.Sprint(r.Counters["sle/success"]),
@@ -229,7 +336,7 @@ func SLEStats(p Params) string {
 			fmt.Sprint(r.Counters["sle/abort_unsafe"]),
 			fmt.Sprint(r.Counters["sle/filtered"]))
 	}
-	return t.String()
+	return t.String() + failNotes(results)
 }
 
 // PredictorAblation sweeps useful-validate predictor tunings around
@@ -250,20 +357,31 @@ func PredictorAblation(p Params) string {
 	if err != nil {
 		panic(err)
 	}
-	base := sim.RunOne(p.config(sim.Techniques{}), w)
-	t := stats.NewTable("Tuning", "Cycles", "Speedup", "Validates", "Revalidates", "Suppressed")
+	jobs := make([]sim.Job, 0, len(tunings)+1)
+	jobs = append(jobs, sim.Job{Cfg: p.config(sim.Techniques{}), W: w})
 	for _, tn := range tunings {
 		cfg := p.config(sim.Techniques{MESTI: true, EMESTI: true})
 		cfg.Node.ValidateParams = tn
-		r := sim.RunOne(cfg, w)
-		t.Row(fmt.Sprintf("%d-%d-%d-%d-%d", tn.InitConf, tn.Threshold, tn.Inc, tn.Dec, tn.SatMax),
+		jobs = append(jobs, sim.Job{Cfg: cfg, W: w})
+	}
+	results := p.runner().RunAll(jobs)
+	base := results[0]
+	t := stats.NewTable("Tuning", "Cycles", "Speedup", "Validates", "Revalidates", "Suppressed")
+	for i, tn := range tunings {
+		r := results[i+1]
+		label := fmt.Sprintf("%d-%d-%d-%d-%d", tn.InitConf, tn.Threshold, tn.Inc, tn.Dec, tn.SatMax)
+		if r.Err != nil || base.Err != nil {
+			t.Row(label, errCell)
+			continue
+		}
+		t.Row(label,
 			fmt.Sprint(r.Cycles),
 			stats.Pct(float64(base.Cycles)/float64(r.Cycles)-1),
 			fmt.Sprint(r.Counters["bus/txn/validate"]),
 			fmt.Sprint(r.Counters["mesti/revalidate"]),
 			fmt.Sprint(r.Counters["mesti/validate_suppressed"]))
 	}
-	return t.String()
+	return t.String() + failNotes(results)
 }
 
 // MissBreakdown reports per-workload communication vs memory misses
@@ -272,10 +390,21 @@ func PredictorAblation(p Params) string {
 // false-sharing population of §5.3.2 (LVP's unique catch).
 func MissBreakdown(p Params) string {
 	p = p.withDefaults()
+	ws := workload.All(p.workloadParams())
+	jobs := make([]sim.Job, 0, 2*len(ws))
+	for _, w := range ws {
+		jobs = append(jobs,
+			sim.Job{Cfg: p.config(sim.Techniques{}), W: w},
+			sim.Job{Cfg: p.config(sim.Techniques{LVP: true}), W: w})
+	}
+	results := p.runner().RunAll(jobs)
 	t := stats.NewTable("Program", "CommMiss", "MemMiss", "Comm%", "LVP ok", "LVP fail", "FalseShare~%")
-	for _, w := range workload.All(p.workloadParams()) {
-		b := sim.RunOne(p.config(sim.Techniques{}), w)
-		l := sim.RunOne(p.config(sim.Techniques{LVP: true}), w)
+	for i, w := range ws {
+		b, l := results[2*i], results[2*i+1]
+		if b.Err != nil || l.Err != nil {
+			t.Row(w.Name, errCell)
+			continue
+		}
 		comm := b.Counters["miss/comm"]
 		memm := b.Counters["miss/mem"]
 		ok := l.Counters["lvp/verify_ok"]
@@ -290,24 +419,36 @@ func MissBreakdown(p Params) string {
 		t.Row(w.Name, fmt.Sprint(comm), fmt.Sprint(memm),
 			stats.Pct(commPct), fmt.Sprint(ok), fmt.Sprint(fail), stats.Pct(fsPct))
 	}
-	return t.String()
+	return t.String() + failNotes(results)
 }
 
-// CountersDump renders all counters of one run (diagnostics).
+// CountersDump renders all counters of one run (diagnostics). A failed
+// run reports its error and captured post-mortem alongside whatever
+// counters it accumulated.
 func CountersDump(p Params, name string, tech sim.Techniques) string {
 	p = p.withDefaults()
 	w, err := workload.ByName(name, p.workloadParams())
 	if err != nil {
 		return err.Error()
 	}
-	r := sim.RunOne(p.config(tech), w)
-	out := fmt.Sprintf("%s under %s: cycles=%d retired=%d IPC=%.3f finished=%v\n",
+	r := sim.RunOneErr(p.config(tech), w)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s under %s: cycles=%d retired=%d IPC=%.3f finished=%v\n",
 		name, tech, r.Cycles, r.Retired, r.IPC(), r.Finished)
-	for _, k := range r.Stats.Names() {
-		out += fmt.Sprintf("  %-34s %d\n", k, r.Counters[k])
+	if r.Err != nil {
+		fmt.Fprintf(&b, "RUN FAILED: %v\n", r.Err)
+		var re *sim.RunError
+		if errors.As(r.Err, &re) && re.PostMortem != "" {
+			b.WriteString(re.PostMortem)
+		}
 	}
-	out += r.Stats.HistString()
-	return out
+	if r.Stats != nil {
+		for _, k := range r.Stats.Names() {
+			fmt.Fprintf(&b, "  %-34s %d\n", k, r.Counters[k])
+		}
+		b.WriteString(r.Stats.HistString())
+	}
+	return b.String()
 }
 
 // DumpReport runs one workload under one technique and returns the
@@ -320,6 +461,9 @@ func DumpReport(p Params, name string, tech sim.Techniques) (sim.Report, error) 
 		return sim.Report{}, err
 	}
 	cfg := p.config(tech)
-	r := sim.RunOne(cfg, w)
+	r := sim.RunOneErr(cfg, w)
+	if r.Err != nil {
+		return sim.Report{}, r.Err
+	}
 	return sim.NewReport(cfg, r), nil
 }

@@ -113,6 +113,43 @@ func TestSLEStatsRenders(t *testing.T) {
 	}
 }
 
+// TestParallelExperimentsIdentical renders the same artifacts through
+// a single-worker and an 8-worker pool: the job-order result contract
+// means the output strings must match byte for byte.
+func TestParallelExperimentsIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	serial := small()
+	serial.Jobs = 1
+	par := small()
+	par.Jobs = 8
+	if got, want := Table2(par), Table2(serial); got != want {
+		t.Errorf("Table2 differs under -j 8:\n-j1:\n%s\n-j8:\n%s", want, got)
+	}
+	if got, want := SLEStats(par), SLEStats(serial); got != want {
+		t.Errorf("SLEStats differs under -j 8:\n-j1:\n%s\n-j8:\n%s", want, got)
+	}
+}
+
+// TestFailNotesReportsCells: a sweep with a failed run renders a
+// FAILED line naming the workload and technique so -all can continue
+// past a livelocked configuration without hiding it.
+func TestFailNotesReportsCells(t *testing.T) {
+	results := []sim.Result{
+		{Workload: "ok-cell"},
+		{Workload: "bad-cell", Tech: sim.Techniques{SLE: true},
+			Err: &sim.RunError{Workload: "bad-cell", Tech: sim.Techniques{SLE: true}, Reason: "deadlock"}},
+	}
+	notes := failNotes(results)
+	if !strings.Contains(notes, "FAILED bad-cell under SLE") || !strings.Contains(notes, "deadlock") {
+		t.Errorf("failure footer malformed: %q", notes)
+	}
+	if strings.Contains(notes, "ok-cell") {
+		t.Errorf("healthy cell listed as failed: %q", notes)
+	}
+}
+
 func TestCountersDumpUnknownWorkload(t *testing.T) {
 	out := CountersDump(small(), "nosuch", sim.Techniques{})
 	if !strings.Contains(out, "unknown") {

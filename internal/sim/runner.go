@@ -1,0 +1,162 @@
+// Parallel run manager. The paper's evaluation is an embarrassingly
+// parallel matrix — workloads × technique combos × seeds — and every
+// sim.System owns its memory, bus, counters, and RNG, so independent
+// runs share no mutable state. The Runner fans such runs out across a
+// bounded worker pool while guaranteeing two properties the experiment
+// harness depends on:
+//
+//   - Deterministic ordering: results[i] always corresponds to
+//     jobs[i], regardless of completion order, so tables and samples
+//     assemble identically at any parallelism (including -j 1).
+//   - Failure isolation: a run that deadlocks, fails validation, or
+//     panics outright surfaces as Result.Err on its own cell — with
+//     the post-mortem captured in the error rather than interleaved
+//     on stderr — instead of killing the whole sweep.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+
+	"tssim/internal/stats"
+)
+
+// RunError describes one failed simulation run: the deadlock watchdog
+// fired, the workload's functional validation failed, or the simulator
+// panicked. It travels in Result.Err so a sweep can report which cell
+// failed and continue.
+type RunError struct {
+	Workload string
+	Tech     Techniques
+	Reason   string
+
+	// PostMortem holds the captured machine dump (watchdog trips with
+	// no Config.PostMortemTo destination) or the panic stack trace
+	// (recovered panics). Empty when the dump was streamed to a
+	// configured writer instead.
+	PostMortem string
+}
+
+// Error returns the one-line form; the PostMortem dump is available on
+// the struct for callers that want the full story.
+func (e *RunError) Error() string {
+	return fmt.Sprintf("sim: workload %q under %s: %s", e.Workload, e.Tech, e.Reason)
+}
+
+// Job is one independent (config, workload) run for a Runner.
+type Job struct {
+	Cfg Config
+	W   Workload
+}
+
+// RunOneErr assembles and runs one job, converting every failure mode
+// — deadlock watchdog, validation failure, and any panic escaping the
+// simulator — into Result.Err instead of crashing the caller. It is
+// the per-run unit the Runner executes.
+func RunOneErr(cfg Config, w Workload) (res Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			res.Workload = w.Name
+			res.Tech = cfg.Tech
+			res.Err = &RunError{
+				Workload:   w.Name,
+				Tech:       cfg.Tech,
+				Reason:     fmt.Sprintf("panic: %v", r),
+				PostMortem: string(debug.Stack()),
+			}
+		}
+	}()
+	res, _ = New(cfg, w).RunErr(w)
+	return res
+}
+
+// Runner fans independent runs out across a bounded worker pool.
+// The zero value is not ready; use NewRunner.
+type Runner struct {
+	jobs int
+}
+
+// NewRunner returns a Runner sized to runtime.GOMAXPROCS(0) workers.
+func NewRunner() *Runner {
+	return &Runner{jobs: runtime.GOMAXPROCS(0)}
+}
+
+// Jobs bounds the worker pool to n concurrent runs (n <= 0 restores
+// the GOMAXPROCS default) and returns the Runner for chaining.
+func (r *Runner) Jobs(n int) *Runner {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	r.jobs = n
+	return r
+}
+
+// RunAll executes every job and returns results in job order. Failed
+// runs carry Result.Err; the rest of the sweep is unaffected. Jobs
+// must be independent: in particular they must not share a Tracer,
+// since each run's System writes to its config's tracer without
+// locking (the experiment harness never sets one).
+func (r *Runner) RunAll(jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	workers := r.jobs
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i := range jobs {
+			results[i] = RunOneErr(jobs[i].Cfg, jobs[i].W)
+		}
+		return results
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = RunOneErr(jobs[i].Cfg, jobs[i].W)
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}
+
+// SampleJobs expands one (config, workload) pair into the n seeded
+// jobs of the multi-run confidence-interval methodology: jitter is
+// enabled (JitterMax 5 when unset) and run i gets seed base + i*7919,
+// exactly the derivation the serial RunSample loop has always used —
+// keeping parallel samples bit-identical to serial ones.
+func SampleJobs(cfg Config, w Workload, n int) []Job {
+	if cfg.Bus.JitterMax <= 0 {
+		cfg.Bus.JitterMax = 5
+	}
+	jobs := make([]Job, n)
+	for i := range jobs {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)*7919
+		jobs[i] = Job{Cfg: c, W: w}
+	}
+	return jobs
+}
+
+// Sample runs the n seeded variants of one configuration (SampleJobs)
+// through the pool and returns the cycle-count sample in seed order.
+// The first failed run aborts the sample with its error.
+func (r *Runner) Sample(cfg Config, w Workload, n int) (*stats.Sample, error) {
+	var sample stats.Sample
+	for _, res := range r.RunAll(SampleJobs(cfg, w, n)) {
+		if res.Err != nil {
+			return nil, res.Err
+		}
+		sample.Add(float64(res.Cycles))
+	}
+	return &sample, nil
+}

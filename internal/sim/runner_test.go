@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"tssim/internal/isa"
+	"tssim/internal/mem"
+)
+
+// stallWorkload is a single cold miss with a watchdog tightened below
+// the miss-service time: the run always trips the deadlock watchdog.
+func stallWorkload(cpus int) (Workload, Config) {
+	b := isa.NewBuilder("stall")
+	b.Li(isa.R10, 0x8000)
+	b.Ld(isa.R11, isa.R10, 0)
+	b.Halt()
+	cfg := fastCfg(Techniques{MESTI: true})
+	cfg.NoProgressCycles = 10
+	return singleCPUWorkload("stall", b.Build(), cpus), cfg
+}
+
+// TestRunnerDeterminism is the parallel-safety regression guard: the
+// same (cfg, seed) matrix run serially via RunOne and through the
+// Runner at -j 8 must produce bit-identical cycles, retirement counts,
+// and counter snapshots. Any accidental shared state between
+// concurrently running Systems shows up here (and under -race in CI).
+func TestRunnerDeterminism(t *testing.T) {
+	const n = 6
+	w := lockCounterWorkload(4, 15, 40, false)
+	cfg := fastCfg(Techniques{MESTI: true, EMESTI: true, LVP: true, SLE: true})
+	cfg.Bus.JitterMax = 5
+
+	jobs := SampleJobs(cfg, w, n)
+	serial := make([]Result, len(jobs))
+	for i, j := range jobs {
+		serial[i] = RunOne(j.Cfg, j.W)
+	}
+	parallel := NewRunner().Jobs(8).RunAll(jobs)
+
+	if len(parallel) != len(serial) {
+		t.Fatalf("parallel returned %d results for %d jobs", len(parallel), len(serial))
+	}
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		if p.Err != nil {
+			t.Fatalf("run %d failed under the Runner: %v", i, p.Err)
+		}
+		if s.Cycles != p.Cycles {
+			t.Errorf("run %d: cycles serial=%d parallel=%d", i, s.Cycles, p.Cycles)
+		}
+		if s.Retired != p.Retired {
+			t.Errorf("run %d: retired serial=%d parallel=%d", i, s.Retired, p.Retired)
+		}
+		if !reflect.DeepEqual(s.PerCPU, p.PerCPU) {
+			t.Errorf("run %d: per-CPU retirement differs: %v vs %v", i, s.PerCPU, p.PerCPU)
+		}
+		if !reflect.DeepEqual(s.Counters, p.Counters) {
+			for k, v := range s.Counters {
+				if p.Counters[k] != v {
+					t.Errorf("run %d: counter %q serial=%d parallel=%d", i, k, v, p.Counters[k])
+				}
+			}
+		}
+	}
+	// Seeds must actually differ between runs for this test to mean
+	// anything: with jitter on, at least two cycle counts should vary.
+	varied := false
+	for i := 1; i < len(serial); i++ {
+		if serial[i].Cycles != serial[0].Cycles {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("all seeded runs produced identical cycles; jitter is not exercising the seeds")
+	}
+}
+
+// TestRepeatDeterminism: the same (cfg, seed) run repeatedly must be
+// bit-identical run-to-run within one process. This pins the
+// simulator against map-iteration-order leaks into behavior (e.g. the
+// SLE write-set prefetch order, which once entered the bus queue in
+// map order and scattered cycle counts across repeats).
+func TestRepeatDeterminism(t *testing.T) {
+	w := lockCounterWorkload(4, 15, 40, false)
+	cfg := fastCfg(Techniques{MESTI: true, EMESTI: true, LVP: true, SLE: true})
+	cfg.Bus.JitterMax = 5
+	cfg.Seed = 42
+	ref := RunOne(cfg, w)
+	for i := 0; i < 4; i++ {
+		r := RunOne(cfg, w)
+		if r.Cycles != ref.Cycles || r.Retired != ref.Retired {
+			t.Fatalf("repeat %d diverged: cycles %d vs %d, retired %d vs %d",
+				i, r.Cycles, ref.Cycles, r.Retired, ref.Retired)
+		}
+		if !reflect.DeepEqual(r.Counters, ref.Counters) {
+			for k, v := range ref.Counters {
+				if r.Counters[k] != v {
+					t.Errorf("repeat %d: counter %q = %d, want %d", i, k, r.Counters[k], v)
+				}
+			}
+			t.FailNow()
+		}
+	}
+}
+
+// TestRunnerSampleMatchesSerial checks the Sample convenience is
+// order- and value-identical at any parallelism.
+func TestRunnerSampleMatchesSerial(t *testing.T) {
+	w := lockCounterWorkload(2, 10, 50, false)
+	cfg := fastCfg(Techniques{})
+	cfg.CPUs = 2
+	s1, err := NewRunner().Jobs(1).Sample(cfg, w, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s8, err := NewRunner().Jobs(8).Sample(cfg, w, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s1.Values(), s8.Values()) {
+		t.Fatalf("sample values differ: -j1 %v vs -j8 %v", s1.Values(), s8.Values())
+	}
+}
+
+// TestRunOneErrDeadlockCaptured: the watchdog trip becomes Result.Err
+// with the post-mortem captured in the error (not stderr), and the
+// partial result still carries the cycles and counters it reached.
+func TestRunOneErrDeadlockCaptured(t *testing.T) {
+	w, cfg := stallWorkload(4)
+	r := RunOneErr(cfg, w)
+	if r.Err == nil {
+		t.Fatal("deadlocked run returned no error")
+	}
+	var re *RunError
+	if !errors.As(r.Err, &re) {
+		t.Fatalf("Err is %T, want *RunError", r.Err)
+	}
+	if !strings.Contains(re.Reason, "deadlock") {
+		t.Errorf("reason %q does not mention deadlock", re.Reason)
+	}
+	if !strings.Contains(re.PostMortem, "post-mortem") || !strings.Contains(re.PostMortem, "mshr addr=") {
+		t.Errorf("post-mortem not captured into the error:\n%s", re.PostMortem)
+	}
+	if r.Finished {
+		t.Error("deadlocked run reported Finished")
+	}
+	if r.Cycles == 0 || len(r.Counters) == 0 {
+		t.Error("partial result missing cycles/counters")
+	}
+}
+
+// TestRunErrRespectsPostMortemTo: with a configured destination the
+// dump streams there and the error's PostMortem stays empty.
+func TestRunErrRespectsPostMortemTo(t *testing.T) {
+	w, cfg := stallWorkload(4)
+	var buf bytes.Buffer
+	cfg.PostMortemTo = &buf
+	_, err := New(cfg, w).RunErr(w)
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("err is %T, want *RunError", err)
+	}
+	if re.PostMortem != "" {
+		t.Error("dump captured into error despite a configured PostMortemTo")
+	}
+	if !strings.Contains(buf.String(), "post-mortem") {
+		t.Error("dump did not reach the configured writer")
+	}
+}
+
+// TestRunOneErrValidationFailure: a functional-validation failure
+// flows through the error path instead of panicking.
+func TestRunOneErrValidationFailure(t *testing.T) {
+	w := lockCounterWorkload(2, 5, 10, false)
+	w.Validate = func(m *mem.Memory, read func(uint64) uint64) error {
+		return errors.New("forced failure")
+	}
+	cfg := fastCfg(Techniques{})
+	cfg.CPUs = 2
+	r := RunOneErr(cfg, w)
+	if r.Err == nil {
+		t.Fatal("validation failure returned no error")
+	}
+	if !strings.Contains(r.Err.Error(), "validation failed") {
+		t.Errorf("error %q does not mention validation", r.Err)
+	}
+	if !r.Finished {
+		t.Error("run halted cleanly; Finished should be true even though validation failed")
+	}
+}
+
+// TestRunAllIsolatesFailures: one livelocked cell fails alone; its
+// neighbors complete, and ordering matches the job list.
+func TestRunAllIsolatesFailures(t *testing.T) {
+	good := lockCounterWorkload(4, 10, 20, false)
+	bad, badCfg := stallWorkload(4)
+	jobs := []Job{
+		{Cfg: fastCfg(Techniques{}), W: good},
+		{Cfg: badCfg, W: bad},
+		{Cfg: fastCfg(Techniques{MESTI: true}), W: good},
+	}
+	results := NewRunner().Jobs(3).RunAll(jobs)
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("healthy cells failed: %v / %v", results[0].Err, results[2].Err)
+	}
+	if results[1].Err == nil {
+		t.Fatal("deadlocked cell did not fail")
+	}
+	for i, want := range []string{"lockctr", "stall", "lockctr"} {
+		if results[i].Workload != want {
+			t.Errorf("result %d is %q, want %q (ordering broken)", i, results[i].Workload, want)
+		}
+	}
+}
+
+// TestRunOneErrRecoversPanic: a panic out of assembly (wrong program
+// count) is recovered into the error with a stack capture.
+func TestRunOneErrRecoversPanic(t *testing.T) {
+	w := lockCounterWorkload(2, 5, 10, false) // 2 programs
+	cfg := fastCfg(Techniques{})
+	cfg.CPUs = 4 // mismatch: New panics
+	r := RunOneErr(cfg, w)
+	if r.Err == nil {
+		t.Fatal("panic was not recovered into Result.Err")
+	}
+	var re *RunError
+	if !errors.As(r.Err, &re) {
+		t.Fatalf("Err is %T, want *RunError", r.Err)
+	}
+	if !strings.Contains(re.Reason, "panic:") {
+		t.Errorf("reason %q does not mark a recovered panic", re.Reason)
+	}
+	if re.PostMortem == "" {
+		t.Error("no stack captured for the recovered panic")
+	}
+}

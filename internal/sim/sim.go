@@ -10,6 +10,8 @@
 package sim
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -170,6 +172,13 @@ type Result struct {
 	// Stats is the live counter/histogram set the run collected on;
 	// reports and verbose CLI output read it directly.
 	Stats *stats.Counters
+
+	// Err records why the run failed (deadlock watchdog, workload
+	// validation, recovered panic) when executed through the
+	// error-carrying paths (RunErr, RunOneErr, Runner). A failed run
+	// still carries whatever cycles/counters it accumulated, so a
+	// post-mortem can read them. Nil on success.
+	Err error
 }
 
 // IPC returns aggregate committed instructions per cycle across all
@@ -190,6 +199,14 @@ type System struct {
 	Nodes    []*core.Controller
 	Cores    []*cpu.Core
 	now      uint64
+
+	// Machine-wide aggregates maintained incrementally by the cores
+	// (cpu.Core.AttachMachine): total committed instructions and the
+	// number of halted cores. The run loop's progress watchdog and
+	// termination check read these instead of scanning every core
+	// every cycle.
+	retired     uint64
+	haltedCores int
 }
 
 // New assembles a system for the workload.
@@ -233,6 +250,7 @@ func New(cfg Config, w Workload) *System {
 		}
 		c := cpu.New(coreCfg, i, w.Programs[i], nil, s.Counters)
 		c.SetTracer(cfg.Trace)
+		c.AttachMachine(&s.retired, &s.haltedCores)
 		ctrl := core.NewController(nc, s.Bus, c, s.Counters)
 		ctrl.SetTracer(cfg.Trace)
 		c.SetMemSystem(ctrl)
@@ -259,37 +277,65 @@ func (s *System) Step() {
 }
 
 // Run executes until every CPU halts (and the interconnect drains) or
-// MaxCycles elapse, then returns the result.
+// MaxCycles elapse, then returns the result. Failures (deadlock
+// watchdog, workload validation) panic, preserving the historical
+// fail-fast contract for tests and examples; the deadlock post-mortem
+// goes to Config.PostMortemTo (os.Stderr when nil). Batch callers
+// should prefer RunErr/RunOneErr, which return the failure as an
+// error instead.
 func (s *System) Run(w Workload) Result {
-	var lastRetired uint64
+	res, err := s.RunErr(w)
+	if err != nil {
+		var re *RunError
+		if errors.As(err, &re) && re.PostMortem != "" {
+			// RunErr captured the dump because no destination was
+			// configured; the panicking path streams it to stderr as
+			// it always has.
+			io.WriteString(os.Stderr, re.PostMortem)
+			panic("sim: " + re.Reason)
+		}
+		if re != nil {
+			panic("sim: " + re.Reason)
+		}
+		panic("sim: " + err.Error())
+	}
+	return res
+}
+
+// RunErr executes like Run but reports failures as an error instead of
+// panicking: a deadlock-watchdog trip or a workload-validation failure
+// returns a *RunError (also stored in Result.Err) alongside whatever
+// partial result the run accumulated. When the watchdog fires and no
+// Config.PostMortemTo is set, the post-mortem dump is captured into
+// RunError.PostMortem rather than interleaved on stderr — essential
+// when many runs execute concurrently under a Runner.
+func (s *System) RunErr(w Workload) (Result, error) {
+	lastRetired := uint64(0)
 	lastProgress := uint64(0)
 	watchdog := s.cfg.NoProgressCycles
 	if watchdog == 0 {
 		watchdog = DefaultNoProgressCycles
 	}
+	nCores := len(s.Cores)
+	var runErr *RunError
 	for s.now < s.cfg.MaxCycles {
-		allHalted := true
-		var retired uint64
-		for _, c := range s.Cores {
-			if !c.Halted() {
-				allHalted = false
-			}
-			retired += c.Retired()
-		}
-		if retired != lastRetired {
-			lastRetired = retired
+		if s.retired != lastRetired {
+			lastRetired = s.retired
 			lastProgress = s.now
 		} else if s.now-lastProgress > watchdog {
 			reason := fmt.Sprintf("no instruction retired for %d cycles at cycle %d (workload %q, tech %s) — deadlock",
 				watchdog, s.now, w.Name, s.cfg.Tech)
-			out := s.cfg.PostMortemTo
-			if out == nil {
-				out = os.Stderr
+			runErr = &RunError{Workload: w.Name, Tech: s.cfg.Tech, Reason: reason}
+			if out := s.cfg.PostMortemTo; out != nil {
+				s.PostMortem(out, reason)
+			} else {
+				var buf bytes.Buffer
+				s.PostMortem(&buf, reason)
+				runErr.PostMortem = buf.String()
 			}
-			s.PostMortem(out, reason)
-			panic("sim: " + reason)
+			break
 		}
-		if allHalted && s.Bus.Idle() && s.storeBuffersEmpty() {
+		if s.haltedCores == nCores && s.Bus.Idle() && s.storeBuffersEmpty() {
 			break
 		}
 		s.Step()
@@ -302,7 +348,7 @@ func (s *System) Run(w Workload) Result {
 		Hists:    s.Counters.HistSnapshots(),
 		Stats:    s.Counters,
 	}
-	res.Finished = true
+	res.Finished = runErr == nil
 	for _, c := range s.Cores {
 		if !c.Halted() {
 			res.Finished = false
@@ -310,13 +356,21 @@ func (s *System) Run(w Workload) Result {
 		res.PerCPU = append(res.PerCPU, c.Retired())
 		res.Retired += c.Retired()
 	}
-	if w.Validate != nil && res.Finished {
+	if runErr == nil && w.Validate != nil && res.Finished {
 		if err := w.Validate(s.Mem, s.readWord); err != nil {
-			panic(fmt.Sprintf("sim: workload %q validation failed under %s: %v",
-				w.Name, s.cfg.Tech, err))
+			runErr = &RunError{
+				Workload: w.Name,
+				Tech:     s.cfg.Tech,
+				Reason: fmt.Sprintf("workload %q validation failed under %s: %v",
+					w.Name, s.cfg.Tech, err),
+			}
 		}
 	}
-	return res
+	if runErr != nil {
+		res.Err = runErr
+		return res, runErr
+	}
+	return res, nil
 }
 
 func (s *System) storeBuffersEmpty() bool {
@@ -358,17 +412,15 @@ func RunOne(cfg Config, w Workload) Result {
 // RunSample runs the same workload/config with n different seeds
 // (enabling latency jitter) and returns the cycle-count sample — the
 // non-deterministic-workload methodology the paper adopts for its 95%
-// confidence intervals.
+// confidence intervals. Runs fan out across GOMAXPROCS workers via the
+// default Runner; seed derivation and result order are identical to
+// the historical serial loop, so the sample is bit-for-bit the same at
+// any parallelism. Panics on the first failed run (see Runner.Sample
+// for the error-returning form).
 func RunSample(cfg Config, w Workload, n int) *stats.Sample {
-	if cfg.Bus.JitterMax <= 0 {
-		cfg.Bus.JitterMax = 5
+	s, err := NewRunner().Sample(cfg, w, n)
+	if err != nil {
+		panic(err.Error())
 	}
-	var sample stats.Sample
-	for i := 0; i < n; i++ {
-		c := cfg
-		c.Seed = cfg.Seed + int64(i)*7919
-		r := RunOne(c, w)
-		sample.Add(float64(r.Cycles))
-	}
-	return &sample
+	return s
 }
