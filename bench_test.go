@@ -181,6 +181,27 @@ func BenchmarkMiss_Breakdown(b *testing.B) {
 
 // --- Raw simulator throughput (not a paper artifact; sizing aid) ---
 
+// measureSteadyStateAllocs builds a fresh machine, warms it past the
+// start-up transient (cold stats interning, pool growth, map rehashes),
+// then counts heap allocations across a measured window of cycles via
+// runtime.MemStats deltas. Mallocs/TotalAlloc are monotonic, so a GC
+// during the window cannot skew the numbers. The perf-regression
+// harness holds the steady-state cycle loop to zero allocations.
+func measureSteadyStateAllocs(cfg sim.Config, w sim.Workload, warmup, window uint64) (allocsPerCycle, bytesPerCycle float64) {
+	s := sim.New(cfg, w)
+	for i := uint64(0); i < warmup; i++ {
+		s.Step()
+	}
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := uint64(0); i < window; i++ {
+		s.Step()
+	}
+	runtime.ReadMemStats(&m1)
+	return float64(m1.Mallocs-m0.Mallocs) / float64(window),
+		float64(m1.TotalAlloc-m0.TotalAlloc) / float64(window)
+}
+
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	w, err := workload.ByName("raytrace", workload.Params{CPUs: 4, Scale: 1})
 	if err != nil {
@@ -194,6 +215,11 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(cycles), "sim-cycles")
 	b.ReportMetric(float64(retired), "sim-instrs")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(cycles), "ns/sim-cycle")
+	b.StopTimer()
+	allocs, bytes := measureSteadyStateAllocs(sim.ExperimentConfig(), w, 20_000, 40_000)
+	b.ReportMetric(allocs, "allocs/sim-cycle")
+	b.ReportMetric(bytes, "B/sim-cycle")
 }
 
 // --- Observability overhead guard ---

@@ -1,0 +1,194 @@
+// Command benchjson converts `go test -bench` output into the
+// versioned BENCH_<n>.json records the perf-regression harness keeps,
+// and compares two records against a regression threshold.
+//
+// Parse mode (default) reads benchmark output on stdin and extracts
+// the headline per-simulated-cycle metrics reported by
+// BenchmarkSimulatorThroughput plus the parallel-speedup metric of
+// BenchmarkFig7_Parallel:
+//
+//	go test -run '^$' -bench . . | benchjson -out BENCH_1.json
+//
+// Compare mode exits non-zero when the candidate regresses past the
+// threshold — wall time per simulated cycle grown by more than the
+// fractional threshold, steady-state allocations per cycle above the
+// baseline, or parallel speedup collapsed:
+//
+//	benchjson -compare -threshold 0.30 BENCH_0.json BENCH_1.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Record is one BENCH_<n>.json file. Zero-valued optional metrics
+// (parallel_speedup in -short runs) are treated as absent by compare.
+type Record struct {
+	Schema  string `json:"schema"` // "tssim-bench/v1"
+	Date    string `json:"date"`
+	Go      string `json:"go"`
+	GOOS    string `json:"goos"`
+	GOARCH  string `json:"goarch"`
+	CPUName string `json:"cpu,omitempty"`
+
+	NsPerSimCycle     float64 `json:"ns_per_sim_cycle"`
+	AllocsPerSimCycle float64 `json:"allocs_per_sim_cycle"`
+	BytesPerSimCycle  float64 `json:"bytes_per_sim_cycle"`
+	SimCycles         float64 `json:"sim_cycles,omitempty"`
+	ParallelSpeedup   float64 `json:"parallel_speedup,omitempty"`
+}
+
+// parseBench scans `go test -bench` output. Benchmark lines are
+// "Name<-P>  N  <value unit>..." pairs after the iteration count.
+func parseBench(lines []string) (Record, error) {
+	rec := Record{
+		Schema: "tssim-bench/v1",
+		Date:   time.Now().UTC().Format(time.RFC3339),
+		Go:     runtime.Version(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+	}
+	sawThroughput := false
+	for _, line := range lines {
+		if cpu, ok := strings.CutPrefix(line, "cpu:"); ok {
+			rec.CPUName = strings.TrimSpace(cpu)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := strings.SplitN(fields[0], "-", 2)[0]
+		metrics := map[string]float64{}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return rec, fmt.Errorf("benchjson: bad metric value %q in %q", fields[i], line)
+			}
+			metrics[fields[i+1]] = v
+		}
+		switch name {
+		case "BenchmarkSimulatorThroughput":
+			sawThroughput = true
+			rec.NsPerSimCycle = metrics["ns/sim-cycle"]
+			rec.AllocsPerSimCycle = metrics["allocs/sim-cycle"]
+			rec.BytesPerSimCycle = metrics["B/sim-cycle"]
+			rec.SimCycles = metrics["sim-cycles"]
+		case "BenchmarkFig7_Parallel":
+			rec.ParallelSpeedup = metrics["parallel-speedup"]
+		}
+	}
+	if !sawThroughput {
+		return rec, fmt.Errorf("benchjson: no BenchmarkSimulatorThroughput line in input")
+	}
+	return rec, nil
+}
+
+func readRecord(path string) (Record, error) {
+	var r Record
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != "tssim-bench/v1" {
+		return r, fmt.Errorf("%s: unknown schema %q", path, r.Schema)
+	}
+	return r, nil
+}
+
+// compare reports every regression of cand against base. Thresholds
+// are deliberately loose (CI machines are noisy); the allocation guard
+// is tight because the steady-state loop is supposed to be exactly
+// allocation-free.
+func compare(base, cand Record, threshold float64) []string {
+	var bad []string
+	if base.NsPerSimCycle > 0 && cand.NsPerSimCycle > base.NsPerSimCycle*(1+threshold) {
+		bad = append(bad, fmt.Sprintf("ns/sim-cycle %.0f -> %.0f (limit %.0f)",
+			base.NsPerSimCycle, cand.NsPerSimCycle, base.NsPerSimCycle*(1+threshold)))
+	}
+	if cand.AllocsPerSimCycle > base.AllocsPerSimCycle+0.01 {
+		bad = append(bad, fmt.Sprintf("allocs/sim-cycle %.4f -> %.4f",
+			base.AllocsPerSimCycle, cand.AllocsPerSimCycle))
+	}
+	if base.ParallelSpeedup > 0 && cand.ParallelSpeedup > 0 &&
+		cand.ParallelSpeedup < base.ParallelSpeedup*(1-threshold) {
+		bad = append(bad, fmt.Sprintf("parallel-speedup %.2f -> %.2f",
+			base.ParallelSpeedup, cand.ParallelSpeedup))
+	}
+	return bad
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "", "write the parsed record to this file (default stdout)")
+		comparePt = flag.Bool("compare", false, "compare two record files: benchjson -compare BASE CAND")
+		threshold = flag.Float64("threshold", 0.30, "fractional regression threshold for -compare")
+	)
+	flag.Parse()
+
+	if *comparePt {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare [-threshold 0.30] BASE.json CAND.json")
+			os.Exit(2)
+		}
+		base, err := readRecord(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cand, err := readRecord(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if bad := compare(base, cand, *threshold); len(bad) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: regression vs %s:\n", flag.Arg(0))
+			for _, b := range bad {
+				fmt.Fprintf(os.Stderr, "  %s\n", b)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("ok: %s within %.0f%% of %s\n", flag.Arg(1), *threshold*100, flag.Arg(0))
+		return
+	}
+
+	var lines []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	rec, err := parseBench(lines)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	data, _ := json.MarshalIndent(rec, "", "  ")
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}

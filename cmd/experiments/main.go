@@ -10,6 +10,7 @@ import (
 	"os"
 
 	"tssim/internal/experiments"
+	"tssim/internal/prof"
 	"tssim/internal/sim"
 )
 
@@ -31,8 +32,19 @@ func main() {
 		scale    = flag.Int("scale", 2, "workload scale factor")
 		seeds    = flag.Int("seeds", 3, "runs per configuration (CI)")
 		jobs     = flag.Int("j", 0, "concurrent simulations (0 = GOMAXPROCS)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer stopProf()
+
 	p := experiments.Params{CPUs: *cpus, Scale: *scale, Seeds: *seeds, Jobs: *jobs}
 
 	ran := false

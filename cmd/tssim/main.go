@@ -12,6 +12,7 @@ import (
 	"os"
 	"strings"
 
+	"tssim/internal/prof"
 	"tssim/internal/sim"
 	"tssim/internal/trace"
 	"tssim/internal/workload"
@@ -74,8 +75,18 @@ func main() {
 		tracePath   = flag.String("trace", "", "write a coherence event trace to this file")
 		traceFormat = flag.String("trace-format", "jsonl", "trace format: jsonl|chrome (chrome loads in Perfetto)")
 		reportPath  = flag.String("report", "", "write a machine-readable JSON run report to this file")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	tech, err := parseTech(*techStr)
 	if err != nil {

@@ -24,6 +24,7 @@ package bus
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"tssim/internal/mem"
 	"tssim/internal/stats"
@@ -178,14 +179,28 @@ type lineHold struct {
 	at   uint64
 }
 
+// busyLine is one entry of the busy-line set: a line address with an
+// in-flight data transfer and how many transfers overlap it.
+type busyLine struct {
+	addr uint64
+	n    int
+}
+
 // Bus is the interconnect instance.
 type Bus struct {
-	cfg      Config
-	memory   *mem.Memory
-	counters *stats.Counters
-	rng      *rand.Rand
-	tr       *trace.Tracer
-	now      uint64 // last ticked cycle (request timestamping)
+	cfg    Config
+	memory *mem.Memory
+	rng    *rand.Rand
+	tr     *trace.Tracer
+	now    uint64 // last ticked cycle (request timestamping)
+
+	// Pre-resolved counter handles: grants happen every few cycles,
+	// so the per-type names are interned once at construction instead
+	// of concatenated per grant.
+	cntTxn     [txnTypeCount]stats.Counter
+	cntAborted [txnTypeCount]stats.Counter
+	cntC2C     stats.Counter
+	cntMem     stats.Counter
 
 	// Latency histograms, shared through counters: arbitration +
 	// queueing wait (request to grant) and full miss service
@@ -201,14 +216,18 @@ type Bus struct {
 
 	inflight []*Txn // granted, awaiting completion delivery
 
-	// busyLines tracks lines with a granted data transfer still in
+	// free recycles completed transactions (see NewTxn).
+	free []*Txn
+
+	// busy tracks lines with a granted data transfer still in
 	// flight. A transaction to such a line is held in its queue until
 	// the transfer lands: the requester logically owns the line from
 	// its grant (bus order) but has no data to supply to a snoop yet.
 	// Real protocols cover this window with transient states and
 	// retry responses; holding the grant is the equivalent, simpler
-	// serialization.
-	busyLines map[uint64]int
+	// serialization. A handful of transfers are in flight at once on
+	// a 4-node machine, so a linear-scanned slice beats a map.
+	busy []busyLine
 
 	// holds are deferred busy-line releases (post-delivery FillHold).
 	holds []lineHold
@@ -234,11 +253,36 @@ func New(cfg Config, memory *mem.Memory, counters *stats.Counters, rng *rand.Ran
 	if c.JitterMax > 0 && rng == nil {
 		panic("bus: jitter requested without rng")
 	}
-	return &Bus{cfg: c, memory: memory, counters: counters, rng: rng,
-		busyLines: make(map[uint64]int),
-		hWait:     counters.Hist("lat/bus_wait"),
-		hMiss:     counters.Hist("lat/miss_service")}
+	b := &Bus{cfg: c, memory: memory, rng: rng,
+		cntC2C: counters.Counter("bus/data/c2c"),
+		cntMem: counters.Counter("bus/data/mem"),
+		hWait:  counters.Hist("lat/bus_wait"),
+		hMiss:  counters.Hist("lat/miss_service")}
+	for ty := TxnType(0); ty < txnTypeCount; ty++ {
+		b.cntTxn[ty] = counters.Counter("bus/txn/" + ty.String())
+		b.cntAborted[ty] = counters.Counter("bus/aborted/" + ty.String())
+	}
+	return b
 }
+
+// NewTxn returns a zeroed transaction, reusing one recycled after a
+// previous completion when available. Controllers on the steady-state
+// path allocate through this instead of &Txn{} so the cycle loop stays
+// allocation-free; the bus reclaims the transaction after CompleteTxn
+// returns (or after a grant-time abort), so the requester must not
+// retain the pointer past that point.
+func (b *Bus) NewTxn() *Txn {
+	if n := len(b.free); n > 0 {
+		t := b.free[n-1]
+		b.free[n-1] = nil
+		b.free = b.free[:n-1]
+		*t = Txn{}
+		return t
+	}
+	return &Txn{}
+}
+
+func (b *Bus) recycle(t *Txn) { b.free = append(b.free, t) }
 
 // Config returns the effective timing configuration.
 func (b *Bus) Config() Config { return b.cfg }
@@ -301,15 +345,44 @@ func (b *Bus) Tick(now uint64) {
 	b.deliver(now)
 }
 
+func (b *Bus) busyCount(addr uint64) int {
+	for i := range b.busy {
+		if b.busy[i].addr == addr {
+			return b.busy[i].n
+		}
+	}
+	return 0
+}
+
+func (b *Bus) busyInc(addr uint64) {
+	for i := range b.busy {
+		if b.busy[i].addr == addr {
+			b.busy[i].n++
+			return
+		}
+	}
+	b.busy = append(b.busy, busyLine{addr: addr, n: 1})
+}
+
+func (b *Bus) busyDec(addr uint64) {
+	for i := range b.busy {
+		if b.busy[i].addr != addr {
+			continue
+		}
+		if b.busy[i].n--; b.busy[i].n <= 0 {
+			last := len(b.busy) - 1
+			b.busy[i] = b.busy[last]
+			b.busy = b.busy[:last]
+		}
+		return
+	}
+}
+
 func (b *Bus) releaseHolds(now uint64) {
 	out := b.holds[:0]
 	for _, h := range b.holds {
 		if h.at <= now {
-			if b.busyLines[h.addr] <= 1 {
-				delete(b.busyLines, h.addr)
-			} else {
-				b.busyLines[h.addr]--
-			}
+			b.busyDec(h.addr)
 		} else {
 			out = append(out, h)
 		}
@@ -328,11 +401,17 @@ func (b *Bus) nextRequest() *Txn {
 		if len(b.queues[node]) == 0 {
 			continue
 		}
-		t := b.queues[node][0]
-		if b.busyLines[t.Addr] > 0 {
+		q := b.queues[node]
+		t := q[0]
+		if b.busyCount(t.Addr) > 0 {
 			continue
 		}
-		b.queues[node] = b.queues[node][1:]
+		// Pop by sliding elements down rather than reslicing the
+		// front: the backing array keeps its full capacity, so the
+		// queue never reallocates in steady state.
+		copy(q, q[1:])
+		q[len(q)-1] = nil
+		b.queues[node] = q[:len(q)-1]
 		b.rr = (node + 1) % n
 		return t
 	}
@@ -341,14 +420,15 @@ func (b *Bus) nextRequest() *Txn {
 
 func (b *Bus) grant(t *Txn, now uint64) {
 	if !b.ports[t.Src].GrantTxn(t) {
-		b.counters.Inc("bus/aborted/" + t.Type.String())
+		b.cntAborted[t.Type].Inc()
 		b.tr.Emit(trace.Event{Kind: trace.KBusAbort, Node: int32(t.Src), Addr: t.Addr, A: uint8(t.Type)})
 		// An aborted transaction still consumed an arbitration
 		// attempt but we do not charge bus occupancy for it: the
 		// controller kills it before the address phase.
+		b.recycle(t)
 		return
 	}
-	b.counters.Inc("bus/txn/" + t.Type.String())
+	b.cntTxn[t.Type].Inc()
 	b.hWait.Observe(now - t.reqAt)
 	b.tr.Emit(trace.Event{Kind: trace.KBusGrant, Node: int32(t.Src), Addr: t.Addr, A: uint8(t.Type), Arg: now - t.reqAt})
 	if b.TraceGrant != nil {
@@ -379,16 +459,16 @@ func (b *Bus) grant(t *Txn, now uint64) {
 	switch t.Type {
 	case TxnRead, TxnReadX:
 		t.HasData = true
-		b.busyLines[t.Addr]++
+		b.busyInc(t.Addr)
 		var base uint64
 		if supplier != nil {
 			t.Data = *supplier
 			base = uint64(b.cfg.C2CLatency)
-			b.counters.Inc("bus/data/c2c")
+			b.cntC2C.Inc()
 		} else {
 			t.Data = b.memory.ReadLine(t.Addr)
 			base = uint64(b.cfg.MemLatency)
-			b.counters.Inc("bus/data/mem")
+			b.cntMem.Inc()
 		}
 		// The data network is occupied per transfer; a transfer
 		// must wait for a free slot, then takes the full latency.
@@ -420,6 +500,7 @@ func (b *Bus) deliver(now uint64) {
 			}
 			b.tr.Emit(trace.Event{Kind: trace.KBusDeliver, Node: int32(t.Src), Addr: t.Addr, A: uint8(t.Type), Arg: now - t.reqAt})
 			b.ports[t.Src].CompleteTxn(t)
+			b.recycle(t)
 		} else {
 			out = append(out, t)
 		}
@@ -430,17 +511,18 @@ func (b *Bus) deliver(now uint64) {
 // DebugString renders queues, in-flight transactions, and busy lines
 // (diagnostics).
 func (b *Bus) DebugString() string {
-	out := fmt.Sprintf("bus addrFree=%d dataFree=%d inflight=%d\n", b.addrFree, b.dataFree, len(b.inflight))
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "bus addrFree=%d dataFree=%d inflight=%d\n", b.addrFree, b.dataFree, len(b.inflight))
 	for n, q := range b.queues {
 		for _, t := range q {
-			out += fmt.Sprintf("  queued node%d %s %#x\n", n, t.Type, t.Addr)
+			fmt.Fprintf(&sb, "  queued node%d %s %#x\n", n, t.Type, t.Addr)
 		}
 	}
 	for _, t := range b.inflight {
-		out += fmt.Sprintf("  inflight node%d %s %#x doneAt=%d\n", t.Src, t.Type, t.Addr, t.doneAt)
+		fmt.Fprintf(&sb, "  inflight node%d %s %#x doneAt=%d\n", t.Src, t.Type, t.Addr, t.doneAt)
 	}
-	for a, n := range b.busyLines {
-		out += fmt.Sprintf("  busy %#x count=%d\n", a, n)
+	for _, bl := range b.busy {
+		fmt.Fprintf(&sb, "  busy %#x count=%d\n", bl.addr, bl.n)
 	}
-	return out
+	return sb.String()
 }

@@ -168,11 +168,41 @@ func (c *Cache) Victim(addr uint64) *Line {
 // the frame is returned zeroed apart from Addr and recency.
 func (c *Cache) Allocate(addr uint64) (frame *Line, evicted Line) {
 	la := mem.LineAddr(addr)
-	if existing := c.Lookup(la); existing != nil {
-		// Re-allocating a resident line is a caller bug.
-		panic(fmt.Sprintf("cache: Allocate(%#x) but line resident", la))
+	// One pass over the set does the residency check (a caller bug)
+	// and the victim choice of Victim() together.
+	set := c.sets[c.setIndex(la)]
+	var victim, fallback, free *Line
+	for i := range set {
+		f := &set[i]
+		if !f.Allocated {
+			if free == nil {
+				free = f
+			}
+			continue
+		}
+		if f.Addr == la {
+			panic(fmt.Sprintf("cache: Allocate(%#x) but line resident", la))
+		}
+		if free != nil {
+			continue // free frame wins; only the residency check remains
+		}
+		if fallback == nil || f.lru < fallback.lru {
+			fallback = f
+		}
+		if c.Evictable != nil && !c.Evictable(f) {
+			continue
+		}
+		if victim == nil || f.lru < victim.lru {
+			victim = f
+		}
 	}
-	frame = c.Victim(la)
+	frame = free
+	if frame == nil {
+		frame = victim
+	}
+	if frame == nil {
+		frame = fallback
+	}
 	evicted = *frame
 	c.clock++
 	*frame = Line{Allocated: true, Addr: la, lru: c.clock}

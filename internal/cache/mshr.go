@@ -77,12 +77,25 @@ type MSHRFile struct {
 	used    int
 }
 
+// initWaiterCap pre-sizes each MSHR's waiter list. The list can reach
+// a few hundred entries in bursts (every load in a 128-entry LSQ can
+// wait on one line, and snoop-replayed loads re-append while the miss
+// is outstanding), so size for the observed high-water mark to keep
+// the steady-state cycle loop free of waiter-list growth; a burst past
+// the cap grows the list once and the capacity is retained by
+// Alloc/Free thereafter.
+const initWaiterCap = 512
+
 // NewMSHRFile builds a file with n entries.
 func NewMSHRFile(n int) *MSHRFile {
 	if n < 1 {
 		panic(fmt.Sprintf("cache: MSHR file size %d", n))
 	}
-	return &MSHRFile{entries: make([]MSHR, n)}
+	f := &MSHRFile{entries: make([]MSHR, n)}
+	for i := range f.entries {
+		f.entries[i].Waiters = make([]Waiter, 0, initWaiterCap)
+	}
+	return f
 }
 
 // Lookup finds the MSHR already tracking the line containing addr.
@@ -104,20 +117,24 @@ func (f *MSHRFile) Alloc(addr uint64, write bool) *MSHR {
 	}
 	for i := range f.entries {
 		if !f.entries[i].Valid {
-			f.entries[i] = MSHR{Valid: true, Addr: mem.LineAddr(addr), Write: write}
+			m := &f.entries[i]
+			w := m.Waiters[:0] // keep the waiter list's backing array
+			*m = MSHR{Valid: true, Addr: mem.LineAddr(addr), Write: write, Waiters: w}
 			f.used++
-			return &f.entries[i]
+			return m
 		}
 	}
 	return nil
 }
 
-// Free releases the MSHR.
+// Free releases the MSHR, retaining the waiter list's capacity for the
+// next allocation of this slot.
 func (f *MSHRFile) Free(m *MSHR) {
 	if m.Valid {
 		f.used--
 	}
-	*m = MSHR{}
+	w := m.Waiters[:0]
+	*m = MSHR{Waiters: w}
 }
 
 // InUse returns the number of live entries. O(1): the occupancy

@@ -23,15 +23,105 @@ type storeEntry struct {
 	waiting bool // a bus transaction for permission is outstanding
 }
 
+// ctrlCounters holds the controller's pre-resolved counter handles,
+// interned once at construction so steady-state events are single
+// pointer bumps (see stats.Counter).
+type ctrlCounters struct {
+	l1StoreForward      stats.Counter
+	l1Hit               stats.Counter
+	l1Miss              stats.Counter
+	l2Hit               stats.Counter
+	l2Miss              stats.Counter
+	l2MSHRFull          stats.Counter
+	l2LLExclusiveFetch  stats.Counter
+	l2EvictDirty        stats.Counter
+	l2EvictClean        stats.Counter
+	lvpSpecDeliver      stats.Counter
+	lvpVerifyFail       stats.Counter
+	lvpVerifyOK         stats.Counter
+	storeBufferFull     stats.Counter
+	storeSCFail         stats.Counter
+	storeSCSuccess      stats.Counter
+	storeUSDetected     stats.Counter
+	storeUSSquash       stats.Counter
+	storePerformed      stats.Counter
+	storePerformAtGrant stats.Counter
+	missComm            stats.Counter
+	missMem             stats.Counter
+	cohUpgradeConverted stats.Counter
+	cohUpgradeStolen    stats.Counter
+	cohWBBufferSupply   stats.Counter
+	mestiTSDetect       stats.Counter
+	mestiValRequested   stats.Counter
+	mestiValSuppressed  stats.Counter
+	mestiValCancelled   stats.Counter
+	mestiValMismatch    stats.Counter
+	mestiRevalidate     stats.Counter
+	mestiEnterT         stats.Counter
+	mestiTReinvalidated stats.Counter
+	emestiVSUse         stats.Counter
+	emestiVSSilentSnoop stats.Counter
+	slePrefetchUpgrade  stats.Counter
+	slePrefetchReadX    stats.Counter
+	sleStoreCommitted   stats.Counter
+}
+
+func resolveCtrlCounters(cs *stats.Counters) ctrlCounters {
+	return ctrlCounters{
+		l1StoreForward:      cs.Counter("l1/store_forward"),
+		l1Hit:               cs.Counter("l1/hit"),
+		l1Miss:              cs.Counter("l1/miss"),
+		l2Hit:               cs.Counter("l2/hit"),
+		l2Miss:              cs.Counter("l2/miss"),
+		l2MSHRFull:          cs.Counter("l2/mshr_full"),
+		l2LLExclusiveFetch:  cs.Counter("l2/ll_exclusive_fetch"),
+		l2EvictDirty:        cs.Counter("l2/evict_dirty"),
+		l2EvictClean:        cs.Counter("l2/evict_clean"),
+		lvpSpecDeliver:      cs.Counter("lvp/spec_deliver"),
+		lvpVerifyFail:       cs.Counter("lvp/verify_fail"),
+		lvpVerifyOK:         cs.Counter("lvp/verify_ok"),
+		storeBufferFull:     cs.Counter("store/buffer_full"),
+		storeSCFail:         cs.Counter("store/sc_fail"),
+		storeSCSuccess:      cs.Counter("store/sc_success"),
+		storeUSDetected:     cs.Counter("store/us_detected"),
+		storeUSSquash:       cs.Counter("store/us_squash"),
+		storePerformed:      cs.Counter("store/performed"),
+		storePerformAtGrant: cs.Counter("store/perform_at_grant"),
+		missComm:            cs.Counter("miss/comm"),
+		missMem:             cs.Counter("miss/mem"),
+		cohUpgradeConverted: cs.Counter("coherence/upgrade_converted"),
+		cohUpgradeStolen:    cs.Counter("coherence/upgrade_stolen_refetch"),
+		cohWBBufferSupply:   cs.Counter("coherence/wb_buffer_supply"),
+		mestiTSDetect:       cs.Counter("mesti/ts_detect"),
+		mestiValRequested:   cs.Counter("mesti/validate_requested"),
+		mestiValSuppressed:  cs.Counter("mesti/validate_suppressed"),
+		mestiValCancelled:   cs.Counter("mesti/validate_cancelled"),
+		mestiValMismatch:    cs.Counter("mesti/validate_mismatch"),
+		mestiRevalidate:     cs.Counter("mesti/revalidate"),
+		mestiEnterT:         cs.Counter("mesti/enter_t"),
+		mestiTReinvalidated: cs.Counter("mesti/t_reinvalidated"),
+		emestiVSUse:         cs.Counter("emesti/vs_use"),
+		emestiVSSilentSnoop: cs.Counter("emesti/vs_silent_snoop"),
+		slePrefetchUpgrade:  cs.Counter("sle/prefetch_upgrade"),
+		slePrefetchReadX:    cs.Counter("sle/prefetch_readx"),
+		sleStoreCommitted:   cs.Counter("sle/store_committed"),
+	}
+}
+
 // Controller is one node's cache and coherence controller.
 type Controller struct {
-	cfg      Config
-	id       int
-	bus      *bus.Bus
-	client   Client
-	counters *stats.Counters
-	tr       *trace.Tracer
-	now      uint64 // last ticked cycle (latency accounting)
+	cfg    Config
+	id     int
+	bus    *bus.Bus
+	client Client
+	cnt    ctrlCounters
+	tr     *trace.Tracer
+	now    uint64 // last ticked cycle (latency accounting)
+
+	// Scratch slices reused across serveMSHR calls (the client does
+	// not retain them).
+	scratchSpec     []uint64
+	scratchVerified []uint64
 
 	// Occupancy and reuse-distance histograms, shared via counters.
 	hOccMSHR *stats.Hist
@@ -90,11 +180,14 @@ func NewController(cfg Config, b *bus.Bus, client Client, counters *stats.Counte
 	if cfg.OccSampleEvery <= 0 {
 		cfg.OccSampleEvery = DefaultOccSampleEvery
 	}
+	if counters == nil {
+		counters = stats.NewCounters()
+	}
 	c := &Controller{
 		cfg:          cfg,
 		bus:          b,
 		client:       client,
-		counters:     counters,
+		cnt:          resolveCtrlCounters(counters),
 		l1:           cache.New(cfg.L1),
 		l2:           cache.New(cfg.L2),
 		mshrs:        cache.NewMSHRFile(cfg.MSHRs),
@@ -158,7 +251,14 @@ func (c *Controller) noteReuse(la uint64) {
 // Config returns the controller configuration.
 func (c *Controller) Config() Config { return c.cfg }
 
-func (c *Controller) count(name string) { c.counters.Inc(name) }
+// request enqueues a dataless transaction for la, drawing from the
+// bus's transaction free list so the steady-state miss path does not
+// allocate.
+func (c *Controller) request(ty bus.TxnType, la uint64) {
+	t := c.bus.NewTxn()
+	t.Type, t.Addr, t.Src = ty, la, c.id
+	c.bus.Request(t)
+}
 
 // ---------------------------------------------------------------------------
 // CPU-facing request paths
@@ -182,7 +282,7 @@ func (c *Controller) Load(seq uint64, addr uint64, isLL bool) LoadResult {
 		if e.isSC {
 			return LoadResult{Status: LoadRetry}
 		}
-		c.count("l1/store_forward")
+		c.cnt.l1StoreForward.Inc()
 		if isLL {
 			c.setReservation(la)
 		}
@@ -197,7 +297,7 @@ func (c *Controller) Load(seq uint64, addr uint64, isLL bool) LoadResult {
 			panic(fmt.Sprintf("core: L1 presence without readable L2 line at %#x", la))
 		}
 		c.l1.Touch(l1line)
-		c.count("l1/hit")
+		c.cnt.l1Hit.Inc()
 		c.noteReuse(la)
 		if l2line.State == StateVS {
 			// unreachable by the inclusion invariant (VS lines are
@@ -209,7 +309,7 @@ func (c *Controller) Load(seq uint64, addr uint64, isLL bool) LoadResult {
 		}
 		return LoadResult{Status: LoadHit, Value: l2line.Data.Word(slot), Lat: c.cfg.L1Latency}
 	}
-	c.count("l1/miss")
+	c.cnt.l1Miss.Inc()
 
 	// L2 hit with read permission.
 	if l2line != nil && Readable(l2line.State) {
@@ -218,10 +318,10 @@ func (c *Controller) Load(seq uint64, addr uint64, isLL bool) LoadResult {
 			// (§2.3) — the line has now been *used* since its
 			// validate, so future useful snoop responses assert.
 			l2line.State = StateS
-			c.count("emesti/vs_use")
+			c.cnt.emestiVSUse.Inc()
 		}
 		c.l2.Touch(l2line)
-		c.count("l2/hit")
+		c.cnt.l2Hit.Inc()
 		c.noteReuse(la)
 		c.fillL1(la)
 		if isLL {
@@ -229,7 +329,7 @@ func (c *Controller) Load(seq uint64, addr uint64, isLL bool) LoadResult {
 		}
 		return LoadResult{Status: LoadHit, Value: l2line.Data.Word(slot), Lat: c.cfg.L1Latency + c.cfg.L2Latency}
 	}
-	c.count("l2/miss")
+	c.cnt.l2Miss.Inc()
 
 	// Miss: merge into an existing MSHR or allocate one. A
 	// load-locked miss fetches the line *exclusively* (read with
@@ -243,15 +343,15 @@ func (c *Controller) Load(seq uint64, addr uint64, isLL bool) LoadResult {
 	if m == nil {
 		m = c.mshrs.Alloc(la, isLL)
 		if m == nil {
-			c.count("l2/mshr_full")
+			c.cnt.l2MSHRFull.Inc()
 			return LoadResult{Status: LoadRetry}
 		}
 		ty := bus.TxnRead
 		if isLL {
 			ty = bus.TxnReadX
-			c.count("l2/ll_exclusive_fetch")
+			c.cnt.l2LLExclusiveFetch.Inc()
 		}
-		c.bus.Request(&bus.Txn{Type: ty, Addr: la, Src: c.id})
+		c.request(ty, la)
 	}
 	w := cache.Waiter{Seq: seq, WordIdx: slot, IsLoad: true, IsLL: isLL}
 
@@ -263,7 +363,7 @@ func (c *Controller) Load(seq uint64, addr uint64, isLL bool) LoadResult {
 		m.RecordSpec(slot, seq, v)
 		w.GotSpec = true
 		m.Waiters = append(m.Waiters, w)
-		c.count("lvp/spec_deliver")
+		c.cnt.lvpSpecDeliver.Inc()
 		c.tr.Emit(trace.Event{Kind: trace.KLVPPredict, Node: int32(c.id), Addr: addr, Arg: v})
 		return LoadResult{Status: LoadSpec, Value: v, Lat: c.cfg.L1Latency + c.cfg.L2Latency}
 	}
@@ -275,7 +375,7 @@ func (c *Controller) Load(seq uint64, addr uint64, isLL bool) LoadResult {
 // return means the buffer is full and the core must stall retirement.
 func (c *Controller) StoreCommit(seq, pc, addr, val uint64) bool {
 	if len(c.storeBuf) >= c.cfg.StoreBuf {
-		c.count("store/buffer_full")
+		c.cnt.storeBufferFull.Inc()
 		return false
 	}
 	c.storeBuf = append(c.storeBuf, storeEntry{seq: seq, pc: pc, addr: mem.AlignWord(addr), val: val})
@@ -344,7 +444,7 @@ func (c *Controller) tickStore() {
 	if l2line != nil && Upgradable(l2line.State) || (l2line != nil && l2line.State == StateVS) {
 		if l2line.State == StateVS {
 			l2line.State = StateS // local request moves VS to S
-			c.count("emesti/vs_use")
+			c.cnt.emestiVSUse.Inc()
 		}
 		if c.mshrs.Lookup(la) != nil {
 			return // line busy; retry when it clears
@@ -359,7 +459,7 @@ func (c *Controller) tickStore() {
 			// will consume the combined useful snoop response.
 			c.vpred.OnIntermediateStoreVisible(la)
 		}
-		c.bus.Request(&bus.Txn{Type: bus.TxnUpgrade, Addr: la, Src: c.id})
+		c.request(bus.TxnUpgrade, la)
 		e.waiting = true
 		return
 	}
@@ -372,7 +472,7 @@ func (c *Controller) tickStore() {
 	if m == nil {
 		return
 	}
-	c.bus.Request(&bus.Txn{Type: bus.TxnReadX, Addr: la, Src: c.id})
+	c.request(bus.TxnReadX, la)
 	e.waiting = true
 }
 
@@ -397,7 +497,7 @@ func (c *Controller) tryPerformHead() bool {
 	// the coherence point.
 	if e.isSC && !c.HasReservation(la) {
 		c.resValid = false
-		c.count("store/sc_fail")
+		c.cnt.storeSCFail.Inc()
 		c.client.SCDone(e.seq, false)
 		c.popStore()
 		return true
@@ -410,11 +510,11 @@ func (c *Controller) tryPerformHead() bool {
 	// and is dropped without acquiring write permission (§1, [21]).
 	if c.cfg.SquashUpdateSilent && l2line != nil && Readable(l2line.State) &&
 		l2line.Data.Word(slot) == e.val {
-		c.count("store/us_detected")
-		c.count("store/us_squash")
+		c.cnt.storeUSDetected.Inc()
+		c.cnt.storeUSSquash.Inc()
 		if e.isSC {
 			c.resValid = false
-			c.count("store/sc_success")
+			c.cnt.storeSCSuccess.Inc()
 			c.client.SCDone(e.seq, true)
 		}
 		c.popStore()
@@ -453,14 +553,14 @@ func (c *Controller) performStore(l *cache.Line, e *storeEntry, slot int) {
 		// Update-silent store that was not squashed (squashing off,
 		// or the line only became readable now): counted for the
 		// Table 2 characterization.
-		c.count("store/us_detected")
+		c.cnt.storeUSDetected.Inc()
 	}
 	l.SetWord(slot, e.val)
 	c.l2.Touch(l)
-	c.count("store/performed")
+	c.cnt.storePerformed.Inc()
 	if e.isSC {
 		c.resValid = false
-		c.count("store/sc_success")
+		c.cnt.storeSCSuccess.Inc()
 		c.client.SCDone(e.seq, true)
 	}
 
@@ -474,19 +574,20 @@ func (c *Controller) performStore(l *cache.Line, e *storeEntry, slot int) {
 		// Temporal silence detected: the line has reverted to its
 		// previous globally visible value.
 		c.tsSilent[la] = true
-		c.count("mesti/ts_detect")
+		c.cnt.mestiTSDetect.Inc()
 		c.tr.Emit(trace.Event{Kind: trace.KTSDetect, Node: int32(c.id), Addr: la})
 		send := true
 		if c.vpred != nil {
 			send = c.vpred.OnTSDetect(la)
 		}
 		if send {
-			t := &bus.Txn{Type: bus.TxnValidate, Addr: la, Src: c.id, WData: l.Data}
+			t := c.bus.NewTxn()
+			t.Type, t.Addr, t.Src, t.WData = bus.TxnValidate, la, c.id, l.Data
 			c.bus.Request(t)
-			c.count("mesti/validate_requested")
+			c.cnt.mestiValRequested.Inc()
 			c.tr.Emit(trace.Event{Kind: trace.KValIssue, Node: int32(c.id), Addr: la})
 		} else {
-			c.count("mesti/validate_suppressed")
+			c.cnt.mestiValSuppressed.Inc()
 			c.tr.Emit(trace.Event{Kind: trace.KValSuppress, Node: int32(c.id), Addr: la})
 		}
 	case !nowSilent && prevSilent:
@@ -524,13 +625,13 @@ func (c *Controller) PrefetchExclusive(addr uint64) {
 	if l != nil && (Upgradable(l.State) || l.State == StateVS) {
 		if l.State == StateVS {
 			l.State = StateS
-			c.count("emesti/vs_use")
+			c.cnt.emestiVSUse.Inc()
 		}
-		c.bus.Request(&bus.Txn{Type: bus.TxnUpgrade, Addr: la, Src: c.id})
-		c.count("sle/prefetch_upgrade")
+		c.request(bus.TxnUpgrade, la)
+		c.cnt.slePrefetchUpgrade.Inc()
 	} else {
-		c.bus.Request(&bus.Txn{Type: bus.TxnReadX, Addr: la, Src: c.id})
-		c.count("sle/prefetch_readx")
+		c.request(bus.TxnReadX, la)
+		c.cnt.slePrefetchReadX.Inc()
 	}
 }
 
@@ -557,7 +658,7 @@ func (c *Controller) SLECommitStores(stores []SpecStore) bool {
 		l := c.l2.Lookup(la)
 		e := storeEntry{addr: mem.AlignWord(s.Addr), val: s.Value}
 		c.performStore(l, &e, mem.WordIndex(s.Addr))
-		c.count("sle/store_committed")
+		c.cnt.sleStoreCommitted.Inc()
 	}
 	return true
 }
@@ -603,10 +704,12 @@ func (c *Controller) evictL2(victim *cache.Line) {
 	if Dirty(victim.State) {
 		c.wbBuf[la] = victim.Data
 		c.wbPending[la]++
-		c.bus.Request(&bus.Txn{Type: bus.TxnWriteback, Addr: la, Src: c.id, WData: victim.Data})
-		c.count("l2/evict_dirty")
+		t := c.bus.NewTxn()
+		t.Type, t.Addr, t.Src, t.WData = bus.TxnWriteback, la, c.id, victim.Data
+		c.bus.Request(t)
+		c.cnt.l2EvictDirty.Inc()
 	} else {
-		c.count("l2/evict_clean")
+		c.cnt.l2EvictClean.Inc()
 	}
 	delete(c.tsSilent, la)
 	if len(c.validatedAt) > 0 {

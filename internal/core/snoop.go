@@ -28,7 +28,7 @@ func (c *Controller) GrantTxn(t *bus.Txn) bool {
 		// snooped invalidation or an intervening store kills it.
 		l := c.l2.Lookup(la)
 		if l == nil || !Dirty(l.State) || !c.tsSilent[la] {
-			c.count("mesti/validate_cancelled")
+			c.cnt.mestiValCancelled.Inc()
 			c.tr.Emit(trace.Event{Kind: trace.KValCancel, Node: int32(c.id), Addr: la})
 			return false
 		}
@@ -50,7 +50,7 @@ func (c *Controller) GrantTxn(t *bus.Txn) bool {
 			// Upgrade race lost: the line was invalidated between
 			// enqueue and grant. Convert to a full ReadX in place.
 			t.Type = bus.TxnReadX
-			c.count("coherence/upgrade_converted")
+			c.cnt.cohUpgradeConverted.Inc()
 			return true
 		}
 		// Serialization point of the write. The reversion candidate
@@ -73,7 +73,7 @@ func (c *Controller) GrantTxn(t *bus.Txn) bool {
 		// the serialization point: perform it immediately so snoops a
 		// cycle later observe the new value (see tryPerformHead).
 		if len(c.storeBuf) > 0 && mem.LineAddr(c.storeBuf[0].addr) == la {
-			c.count("store/perform_at_grant")
+			c.cnt.storePerformAtGrant.Inc()
 			c.tryPerformHead()
 		}
 		return true
@@ -104,7 +104,7 @@ func (c *Controller) SnoopTxn(t *bus.Txn) bus.SnoopReply {
 		d := data
 		reply.Data = &d
 		reply.Shared = true
-		c.count("coherence/wb_buffer_supply")
+		c.cnt.cohWBBufferSupply.Inc()
 		return reply
 	}
 
@@ -161,7 +161,7 @@ func (c *Controller) SnoopTxn(t *bus.Txn) bus.SnoopReply {
 			// Validate_Shared holder — revalidated but never used —
 			// withholds the shared/useful response, telling the
 			// writer its validates are going to waste (§2.3).
-			c.count("emesti/vs_silent_snoop")
+			c.cnt.emestiVSSilentSnoop.Inc()
 			c.enterT(l)
 		case StateT:
 			// The saved copy stays: only a single previous value is
@@ -171,7 +171,7 @@ func (c *Controller) SnoopTxn(t *bus.Txn) bus.SnoopReply {
 			// earlier visibility epoch — that is a hit legitimately
 			// rescued, since the validate guarantees the globally
 			// visible value equals the payload.)
-			c.count("mesti/t_reinvalidated")
+			c.cnt.mestiTReinvalidated.Inc()
 		}
 
 	case bus.TxnValidate:
@@ -182,7 +182,7 @@ func (c *Controller) SnoopTxn(t *bus.Txn) bus.SnoopReply {
 				} else {
 					l.State = StateS
 				}
-				c.count("mesti/revalidate")
+				c.cnt.mestiRevalidate.Inc()
 				c.traceState(la, StateT, l.State)
 				c.validatedAt[la] = c.now
 			} else {
@@ -191,7 +191,7 @@ func (c *Controller) SnoopTxn(t *bus.Txn) bus.SnoopReply {
 				// wrote it back); it cannot be revalidated.
 				c.traceState(la, StateT, StateI)
 				l.State = StateI
-				c.count("mesti/validate_mismatch")
+				c.cnt.mestiValMismatch.Inc()
 			}
 		}
 
@@ -221,7 +221,7 @@ func (c *Controller) enterT(l *cache.Line) {
 	from := l.State
 	if c.cfg.MESTI {
 		l.State = StateT
-		c.count("mesti/enter_t")
+		c.cnt.mestiEnterT.Inc()
 	} else {
 		l.State = StateI
 	}
@@ -308,8 +308,8 @@ func (c *Controller) CompleteTxn(t *bus.Txn) {
 					served.Data = l.Data
 					c.serveMSHR(&served)
 				} else {
-					c.count("coherence/upgrade_stolen_refetch")
-					c.bus.Request(&bus.Txn{Type: bus.TxnReadX, Addr: la, Src: c.id})
+					c.cnt.cohUpgradeStolen.Inc()
+					c.request(bus.TxnReadX, la)
 				}
 			}
 		}
@@ -325,10 +325,10 @@ func (c *Controller) CompleteTxn(t *bus.Txn) {
 // population); the rest come from memory (cold/capacity/conflict).
 func (c *Controller) classifyMiss(t *bus.Txn) {
 	if t.Owned {
-		c.count("miss/comm")
+		c.cnt.missComm.Inc()
 		c.tr.Emit(trace.Event{Kind: trace.KMiss, Node: int32(c.id), Addr: t.Addr, A: 1})
 	} else {
-		c.count("miss/mem")
+		c.cnt.missMem.Inc()
 		c.tr.Emit(trace.Event{Kind: trace.KMiss, Node: int32(c.id), Addr: t.Addr, A: 0})
 	}
 }
@@ -355,20 +355,21 @@ func (c *Controller) serveMSHR(t *bus.Txn) {
 		// Value misprediction: squash from the oldest live op
 		// holding speculative data (§3.2's slightly pessimistic
 		// single-index recovery; the core resolves liveness).
-		c.count("lvp/verify_fail")
+		c.cnt.lvpVerifyFail.Inc()
 		c.tr.Emit(trace.Event{Kind: trace.KLVPSquash, Node: int32(c.id), Addr: t.Addr})
-		var specSeqs []uint64
+		specSeqs := c.scratchSpec[:0]
 		for _, w := range m.Waiters {
 			if w.GotSpec {
 				specSeqs = append(specSeqs, w.Seq)
 			}
 		}
+		c.scratchSpec = specSeqs
 		c.client.SquashSpec(specSeqs)
 	} else if m.SpecDelivered {
-		c.count("lvp/verify_ok")
+		c.cnt.lvpVerifyOK.Inc()
 		c.tr.Emit(trace.Event{Kind: trace.KLVPVerifyOK, Node: int32(c.id), Addr: t.Addr})
 	}
-	var verified []uint64
+	verified := c.scratchVerified[:0]
 	for _, w := range m.Waiters {
 		if !w.IsLoad {
 			continue
@@ -385,6 +386,7 @@ func (c *Controller) serveMSHR(t *bus.Txn) {
 		}
 		c.client.LoadDone(w.Seq, t.Data.Word(w.WordIdx))
 	}
+	c.scratchVerified = verified
 	if len(verified) > 0 {
 		c.client.LoadsVerified(verified)
 	}

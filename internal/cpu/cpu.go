@@ -131,6 +131,7 @@ type entry struct {
 	isStore     bool
 	isBranch    bool
 	needsAddr   bool // store whose address is not yet resolved
+	nSrc        int8 // srcCount(), computed once at dispatch
 	pendingSrcs int8 // count of not-yet-ready source operands
 
 	// Memory state.
@@ -186,14 +187,46 @@ type fetchSlot struct {
 	predNext  int
 }
 
+// cpuCounters holds the core's pre-resolved counter handles (see
+// stats.Counter).
+type cpuCounters struct {
+	loads         stats.Counter
+	stores        stats.Counter
+	branchMispred stats.Counter
+	squash        stats.Counter
+	scIssued      stats.Counter
+	lsqForward    stats.Counter
+	loadSpec      stats.Counter
+	ruuFull       stats.Counter
+	lsqFull       stats.Counter
+	lvpSquash     stats.Counter
+	loadReplay    stats.Counter
+}
+
+func resolveCPUCounters(cs *stats.Counters) cpuCounters {
+	return cpuCounters{
+		loads:         cs.Counter("cpu/loads"),
+		stores:        cs.Counter("cpu/stores"),
+		branchMispred: cs.Counter("cpu/branch_mispredict"),
+		squash:        cs.Counter("cpu/squash"),
+		scIssued:      cs.Counter("cpu/sc_issued"),
+		lsqForward:    cs.Counter("cpu/lsq_forward"),
+		loadSpec:      cs.Counter("cpu/load_spec"),
+		ruuFull:       cs.Counter("cpu/ruu_full"),
+		lsqFull:       cs.Counter("cpu/lsq_full"),
+		lvpSquash:     cs.Counter("cpu/lvp_squash"),
+		loadReplay:    cs.Counter("cpu/load_replay"),
+	}
+}
+
 // Core is one simulated CPU.
 type Core struct {
-	cfg      Config
-	id       int
-	prog     *isa.Program
-	memsys   MemSystem
-	counters *stats.Counters
-	tr       *trace.Tracer
+	cfg    Config
+	id     int
+	prog   *isa.Program
+	memsys MemSystem
+	cnt    cpuCounters
+	tr     *trace.Tracer
 
 	now     uint64
 	nextSeq uint64
@@ -202,13 +235,19 @@ type Core struct {
 	regProd [isa.NumRegs]*entry // latest in-flight producer per register
 
 	ruu     []*entry // program order, oldest first
+	ruuBuf  []*entry // backing storage: ruu slides forward as heads retire and is compacted back onto this buffer when the capacity is reached
 	lsqUsed int
+
+	// entryPool recycles retired/squashed RUU entries so dispatch does
+	// not allocate in steady state.
+	entryPool []*entry
 
 	// Scheduler fast-path bookkeeping.
 	numExecuting   int // entries between issue and completion
 	storesInFlight int // unretired stores in the window
 
 	fetchQ    []fetchSlot
+	fetchBuf  []fetchSlot // backing storage for fetchQ, compacted like ruuBuf
 	fetchPC   int
 	fetchStop bool // halt fetched (or fetch redirected off the end)
 
@@ -256,17 +295,24 @@ type Core struct {
 // is used only for diagnostics.
 func New(cfg Config, id int, prog *isa.Program, m MemSystem, counters *stats.Counters) *Core {
 	cfg = cfg.withDefaults()
+	if counters == nil {
+		counters = stats.NewCounters()
+	}
 	c := &Core{
 		cfg:      cfg,
 		id:       id,
 		prog:     prog,
 		memsys:   m,
-		counters: counters,
+		cnt:      resolveCPUCounters(counters),
+		ruuBuf:   make([]*entry, cfg.RUUSize),
+		fetchBuf: make([]fetchSlot, cfg.RUUSize),
 		bpred:    newBpred(1024),
 		bySeq:    make(map[uint64]*entry),
 	}
+	c.ruu = c.ruuBuf[:0]
+	c.fetchQ = c.fetchBuf[:0]
 	if cfg.SLE.Enabled {
-		c.sle = newSLEEngine(c, cfg.SLE)
+		c.sle = newSLEEngine(c, cfg.SLE, counters)
 	}
 	return c
 }
@@ -309,7 +355,10 @@ func (c *Core) Reg(r int) uint64 { return c.regs[r] }
 // SLEStats exposes the elision engine (nil when disabled).
 func (c *Core) SLEStats() *sleEngine { return c.sle }
 
-func (c *Core) count(name string) { c.counters.Inc(name) }
+// freeEntry returns a dead RUU entry to the pool for reuse by
+// dispatchOne. Callers must have dropped every reference to it first
+// (bySeq, regProd, drainISync, the SLE engine's region view).
+func (c *Core) freeEntry(e *entry) { c.entryPool = append(c.entryPool, e) }
 
 // Tick advances the core one cycle.
 func (c *Core) Tick(now uint64) {
@@ -393,9 +442,9 @@ func (c *Core) retireHead() {
 		}
 	}
 	if e.isLoad {
-		c.count("cpu/loads")
+		c.cnt.loads.Inc()
 	} else if e.isStore {
-		c.count("cpu/stores")
+		c.cnt.stores.Inc()
 	}
 	c.retired++
 	if c.machRetired != nil {
@@ -404,6 +453,7 @@ func (c *Core) retireHead() {
 	if c.checker {
 		c.checkCommit(e)
 	}
+	c.freeEntry(e)
 }
 
 // checkCommit re-executes the instruction in order and compares. Loads
@@ -454,15 +504,17 @@ func (c *Core) broadcast(e *entry) {
 	if _, ok := e.ins.WritesReg(); !ok {
 		return
 	}
+	seq, res := e.seq, e.result
 	for _, w := range c.ruu {
-		if w.seq <= e.seq {
+		// Most of the window has no pending operands; one comparison
+		// skips those entries without touching their source slots.
+		if w.pendingSrcs == 0 || w.seq <= seq {
 			continue
 		}
-		n := w.srcCount()
-		for i := 0; i < n; i++ {
-			if !w.srcReady[i] && w.srcProd[i] == e.seq {
+		for i := int8(0); i < w.nSrc; i++ {
+			if !w.srcReady[i] && w.srcProd[i] == seq {
 				w.srcReady[i] = true
-				w.src[i] = e.result
+				w.src[i] = res
 				w.pendingSrcs--
 			}
 		}
@@ -479,7 +531,7 @@ func (c *Core) resolveBranch(e *entry) {
 	if taken == e.predTaken && (!taken || next == e.predNext) {
 		return
 	}
-	c.count("cpu/branch_mispredict")
+	c.cnt.branchMispred.Inc()
 	c.squashAfter(e.seq, next)
 }
 
@@ -509,6 +561,9 @@ func (c *Core) squashAfter(seq uint64, newPC int) {
 			}
 		}
 	}
+	// Program order makes seq monotone over the window, so the killed
+	// entries are exactly the tail past the survivors.
+	killed := c.ruu[len(keep):]
 	c.ruu = keep
 	c.fetchQ = c.fetchQ[:0]
 	c.fetchPC = newPC
@@ -517,7 +572,14 @@ func (c *Core) squashAfter(seq uint64, newPC int) {
 	if c.sle != nil {
 		c.sle.onSquash(seq)
 	}
-	c.count("cpu/squash")
+	// Recycle the dead tail only after the SLE engine has observed the
+	// squash (it may still read its frozen SC entry there). The slots
+	// are left pointing at the pooled entries: callers snapshotting the
+	// window across a squash may still walk them.
+	for _, e := range killed {
+		c.freeEntry(e)
+	}
+	c.cnt.squash.Inc()
 }
 
 // SquashFromSeq kills the entry with the given seq and everything
@@ -616,7 +678,7 @@ func (c *Core) issueSC(e *entry) {
 	// SCDone synchronously.
 	e.scSent = true
 	if c.memsys.SCExecute(e.seq, uint64(e.pc), e.effAddr, e.src[1]) {
-		c.count("cpu/sc_issued")
+		c.cnt.scIssued.Inc()
 	} else {
 		e.scSent = false // store buffer full; retry next cycle
 	}
@@ -670,7 +732,7 @@ func (c *Core) issueLoad(e *entry) bool {
 		c.numExecuting++
 		e.doneAt = c.now + 1
 		e.result = fwd.src[1]
-		c.count("cpu/lsq_forward")
+		c.cnt.lsqForward.Inc()
 		if c.sle != nil {
 			c.sle.onLoadIssued(e)
 		}
@@ -694,7 +756,7 @@ toMemory:
 		e.doneAt = c.now + uint64(r.Lat)
 		e.result = r.Value
 		e.specVal = true
-		c.count("cpu/load_spec")
+		c.cnt.loadSpec.Inc()
 	case core.LoadMiss:
 		e.issued = true
 		e.memSent = true
@@ -716,12 +778,12 @@ func (c *Core) dispatch() {
 			return
 		}
 		if len(c.ruu) >= c.cfg.RUUSize {
-			c.count("cpu/ruu_full")
+			c.cnt.ruuFull.Inc()
 			return
 		}
 		slot := c.fetchQ[0]
 		if slot.ins.IsMem() && c.lsqUsed >= c.cfg.LSQSize {
-			c.count("cpu/lsq_full")
+			c.cnt.lsqFull.Inc()
 			return
 		}
 		// A serializing isync blocks younger dispatch until it
@@ -743,14 +805,24 @@ func (c *Core) dispatch() {
 
 func (c *Core) dispatchOne(slot fetchSlot) {
 	c.nextSeq++
-	e := &entry{seq: c.nextSeq, pc: slot.pc, ins: slot.ins,
-		predTaken: slot.predTaken, predNext: slot.predNext}
+	var e *entry
+	if n := len(c.entryPool); n > 0 {
+		e = c.entryPool[n-1]
+		c.entryPool[n-1] = nil
+		c.entryPool = c.entryPool[:n-1]
+		*e = entry{}
+	} else {
+		e = &entry{}
+	}
+	e.seq, e.pc, e.ins = c.nextSeq, slot.pc, slot.ins
+	e.predTaken, e.predNext = slot.predTaken, slot.predNext
 	e.isLoad = slot.ins.IsLoad()
 	e.isStore = slot.ins.IsStore()
 	e.isBranch = slot.ins.IsBranch()
 	e.needsAddr = e.isStore
 	regs := operandRegs(slot.ins)
 	n := e.srcCount()
+	e.nSrc = int8(n)
 	for i := 0; i < n; i++ {
 		r := regs[i]
 		if r == 0 {
@@ -790,6 +862,13 @@ func (c *Core) dispatchOne(slot fetchSlot) {
 			c.drainISync = e
 		}
 	}
+	if len(c.ruu) == cap(c.ruu) {
+		// The window slid forward off the front of ruuBuf as heads
+		// retired; slide it back to the start. The dispatch guard
+		// keeps len(ruu) < RUUSize, so room always reappears.
+		n := copy(c.ruuBuf, c.ruu)
+		c.ruu = c.ruuBuf[:n]
+	}
 	c.ruu = append(c.ruu, e)
 	c.bySeq[e.seq] = e
 }
@@ -817,6 +896,12 @@ func (c *Core) fetch() {
 		}
 		if ins.Op == isa.OpHalt {
 			c.fetchStop = true
+		}
+		if len(c.fetchQ) == cap(c.fetchQ) {
+			// Compact the queue back onto its backing buffer (it slid
+			// forward as dispatch consumed the front).
+			n := copy(c.fetchBuf, c.fetchQ)
+			c.fetchQ = c.fetchBuf[:n]
 		}
 		c.fetchQ = append(c.fetchQ, slot)
 		c.fetchPC = next
@@ -867,7 +952,7 @@ func (c *Core) SquashSpec(seqs []uint64) {
 	if !found {
 		return
 	}
-	c.count("cpu/lvp_squash")
+	c.cnt.lvpSquash.Inc()
 	c.squashFromSeq(oldest)
 }
 
@@ -906,7 +991,7 @@ func (c *Core) ExternalSnoop(lineAddr uint64, isWrite bool) {
 			continue
 		}
 		if e.done || e.executing || e.memSent {
-			c.count("cpu/load_replay")
+			c.cnt.loadReplay.Inc()
 			c.squashFromSeq(e.seq)
 			return
 		}

@@ -2,14 +2,43 @@ package cpu
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"tssim/internal/core"
 	"tssim/internal/isa"
 	"tssim/internal/mem"
 	"tssim/internal/predictor"
+	"tssim/internal/stats"
 	"tssim/internal/trace"
 )
+
+// sleCounters holds the engine's pre-resolved counter handles,
+// including one abort counter per elision outcome (replacing the
+// "sle/abort_"+outcome.String() concatenation).
+type sleCounters struct {
+	idiomMiss       stats.Counter
+	reservationLost stats.Counter
+	suppressedOnce  stats.Counter
+	filtered        stats.Counter
+	attempt         stats.Counter
+	success         stats.Counter
+	abort           [predictor.ElisionOutcomeCount]stats.Counter
+}
+
+func resolveSLECounters(cs *stats.Counters) sleCounters {
+	sc := sleCounters{
+		idiomMiss:       cs.Counter("sle/idiom_miss"),
+		reservationLost: cs.Counter("sle/reservation_lost"),
+		suppressedOnce:  cs.Counter("sle/suppressed_once"),
+		filtered:        cs.Counter("sle/filtered"),
+		attempt:         cs.Counter("sle/attempt"),
+		success:         cs.Counter("sle/success"),
+	}
+	for o := 0; o < predictor.ElisionOutcomeCount; o++ {
+		sc.abort[o] = cs.Counter("sle/abort_" + predictor.ElisionOutcome(o).String())
+	}
+	return sc
+}
 
 // sleEngine implements speculative lock elision (§4) with in-core
 // buffering: the reorder buffer is the speculation buffer, so critical
@@ -23,6 +52,7 @@ type sleEngine struct {
 	core *Core
 	cfg  SLEConfig
 	pred *predictor.ElisionPredictor
+	cnt  sleCounters
 
 	active   bool
 	scEntry  *entry
@@ -37,10 +67,15 @@ type sleEngine struct {
 	suppressOnce map[uint64]bool
 	debugLast    string
 
+	// Scratch buffers reused across ticks (prefetch address ordering
+	// and the atomic-commit store list).
+	lineBuf  []uint64
+	storeBuf []core.SpecStore
+
 	maxRegion int // RUU-entry bound for the region
 }
 
-func newSLEEngine(c *Core, cfg SLEConfig) *sleEngine {
+func newSLEEngine(c *Core, cfg SLEConfig, counters *stats.Counters) *sleEngine {
 	p := cfg.Params
 	if p.SatMax == 0 {
 		p = predictor.DefaultElisionParams()
@@ -49,6 +84,9 @@ func newSLEEngine(c *Core, cfg SLEConfig) *sleEngine {
 		core:         c,
 		cfg:          cfg,
 		pred:         predictor.NewElisionPredictor(p),
+		cnt:          resolveSLECounters(counters),
+		readSet:      make(map[uint64]bool),
+		writeSet:     make(map[uint64]bool),
 		consecFails:  make(map[uint64]int),
 		suppressOnce: make(map[uint64]bool),
 		maxRegion:    int(cfg.ROBFrac * float64(c.cfg.RUUSize)),
@@ -71,7 +109,7 @@ func (s *sleEngine) tryStart(e *entry) bool {
 	// address (§4.1). Without it there is no known pre-acquire value
 	// to revert to.
 	if !s.core.lastLL.valid || s.core.lastLL.addr != e.effAddr {
-		s.core.count("sle/idiom_miss")
+		s.cnt.idiomMiss.Inc()
 		return false
 	}
 	// The reservation must still be live: a remote write to the lock
@@ -81,17 +119,17 @@ func (s *sleEngine) tryStart(e *entry) bool {
 	// concurrently with a held lock. (A real SC would simply fail
 	// here; declining sends it down exactly that path.)
 	if !s.core.memsys.HasReservation(e.effAddr) {
-		s.core.count("sle/reservation_lost")
+		s.cnt.reservationLost.Inc()
 		return false
 	}
 	pc := uint64(e.pc)
 	if s.suppressOnce[pc] {
 		delete(s.suppressOnce, pc)
-		s.core.count("sle/suppressed_once")
+		s.cnt.suppressedOnce.Inc()
 		return false
 	}
 	if !s.pred.ShouldAttempt(pc) {
-		s.core.count("sle/filtered")
+		s.cnt.filtered.Inc()
 		return false
 	}
 	// Instructions younger than the SC are already in the window
@@ -104,7 +142,7 @@ func (s *sleEngine) tryStart(e *entry) bool {
 		}
 		if w.ins.Op == isa.OpISync && w.ins.Unsafe {
 			s.pred.Record(pc, predictor.ElisionUnsafe)
-			s.core.count("sle/abort_unsafe")
+			s.cnt.abort[predictor.ElisionUnsafe].Inc()
 			return false
 		}
 	}
@@ -113,8 +151,9 @@ func (s *sleEngine) tryStart(e *entry) bool {
 	s.lockAddr = e.effAddr
 	s.lockLine = mem.LineAddr(e.effAddr)
 	s.origVal = s.core.lastLL.value
-	s.readSet = map[uint64]bool{s.lockLine: true}
-	s.writeSet = map[uint64]bool{}
+	clear(s.readSet)
+	clear(s.writeSet)
+	s.readSet[s.lockLine] = true
 	// Seed the sets from operations already resolved in the window:
 	// dispatch and issue ran ahead while the SC waited to reach the
 	// head, so parts of the critical section may have executed before
@@ -136,7 +175,7 @@ func (s *sleEngine) tryStart(e *entry) bool {
 	e.elided = true
 	e.result = 1
 	s.core.broadcast(e)
-	s.core.count("sle/attempt")
+	s.cnt.attempt.Inc()
 	s.core.tr.Emit(trace.Event{Kind: trace.KSLEElide, Node: int32(s.core.id), Addr: s.lockAddr})
 	return true
 }
@@ -288,11 +327,12 @@ func (s *sleEngine) tick() {
 	// Address order, not map order: prefetch requests enter the bus
 	// queue here, and the simulator guarantees identical runs for
 	// identical seeds.
-	lines := make([]uint64, 0, len(s.writeSet))
+	lines := s.lineBuf[:0]
 	for line := range s.writeSet {
 		lines = append(lines, line)
 	}
-	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	slices.Sort(lines)
+	s.lineBuf = lines
 	for _, line := range lines {
 		if !s.core.memsys.HoldsWritable(line) {
 			s.core.memsys.PrefetchExclusive(line)
@@ -304,7 +344,7 @@ func (s *sleEngine) tick() {
 	}
 	// Atomic commit requires every instruction in the region through
 	// the release to be complete and non-speculative.
-	var stores []core.SpecStore
+	stores := s.storeBuf[:0]
 	for _, e := range region[:releaseIdx+1] {
 		if !e.done || e.specVal {
 			return
@@ -313,6 +353,7 @@ func (s *sleEngine) tick() {
 			stores = append(stores, core.SpecStore{Addr: e.effAddr, Value: e.src[1]})
 		}
 	}
+	s.storeBuf = stores
 	if !s.core.memsys.SLECommitStores(stores) {
 		return // not all lines writable yet; prefetches are in flight
 	}
@@ -326,7 +367,7 @@ func (s *sleEngine) tick() {
 	s.active = false
 	s.pred.Record(pc, predictor.ElisionSuccess)
 	s.consecFails[pc] = 0
-	s.core.count("sle/success")
+	s.cnt.success.Inc()
 	s.core.tr.Emit(trace.Event{Kind: trace.KSLECommit, Node: int32(s.core.id), Addr: s.lockAddr,
 		Arg: uint64(releaseIdx + 1)})
 }
@@ -346,7 +387,7 @@ func (s *sleEngine) abort(outcome predictor.ElisionOutcome) {
 		s.suppressOnce[pc] = true
 		s.consecFails[pc] = 0
 	}
-	s.core.count("sle/abort_" + outcome.String())
+	s.cnt.abort[outcome].Inc()
 	s.core.tr.Emit(trace.Event{Kind: trace.KSLEAbort, Node: int32(s.core.id), Addr: s.lockAddr,
 		A: uint8(outcome)})
 	s.core.squashAfter(scSeq-1, scPC)

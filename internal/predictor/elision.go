@@ -17,6 +17,10 @@ const (
 	ElisionUnsafe                          // context-serializing instruction touched unsafe state (§4.2.2)
 )
 
+// ElisionOutcomeCount is the number of distinct outcomes, for
+// outcome-indexed tables (e.g. per-outcome abort counters).
+const ElisionOutcomeCount = int(ElisionUnsafe) + 1
+
 // String names the outcome for counters.
 func (o ElisionOutcome) String() string {
 	switch o {

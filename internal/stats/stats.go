@@ -12,57 +12,127 @@ import (
 	"strings"
 )
 
+// counterBlock is the capacity of one backing block. Cells are
+// appended into fixed-capacity blocks (never reallocated), so the
+// *uint64 handles handed out by Counter stay valid as new names are
+// interned, while cells interned together stay dense — the counters a
+// component resolves at construction share cache lines.
+const counterBlock = 64
+
 // Counters is a set of named uint64 event counters. It is the unit of
 // statistics collection inside the simulator: every module (bus, cache
 // controller, core, predictor) increments counters on a shared set so
 // experiments can read one flat namespace.
+//
+// Hot paths resolve a Counter handle once at construction (see
+// Counter); the string-keyed methods remain for cold paths, tests, and
+// ad-hoc accounting. Both views alias the same cell: a counter
+// reached through its handle and through its name is one value.
+//
+// A name interned by Counter but never incremented is indistinguishable
+// from a counter that was never touched: Names, Snapshot, Sum and Merge
+// all skip zero-valued cells, so resolving handles eagerly at
+// construction does not change any report or experiment output.
 type Counters struct {
-	m     map[string]uint64
-	hists map[string]*Hist
+	cells  map[string]*uint64
+	blocks [][]uint64 // dense backing storage; blocks are never reallocated
+	hists  map[string]*Hist
 }
 
 // NewCounters returns an empty counter set.
 func NewCounters() *Counters {
-	return &Counters{m: make(map[string]uint64), hists: make(map[string]*Hist)}
+	return &Counters{cells: make(map[string]*uint64), hists: make(map[string]*Hist)}
 }
 
+// cell interns name and returns its backing cell.
+func (c *Counters) cell(name string) *uint64 {
+	if p, ok := c.cells[name]; ok {
+		return p
+	}
+	last := len(c.blocks) - 1
+	if last < 0 || len(c.blocks[last]) == cap(c.blocks[last]) {
+		c.blocks = append(c.blocks, make([]uint64, 0, counterBlock))
+		last++
+	}
+	blk := append(c.blocks[last], 0)
+	c.blocks[last] = blk
+	p := &blk[len(blk)-1]
+	c.cells[name] = p
+	return p
+}
+
+// Counter is a pre-resolved handle to one named counter: Inc and Add
+// are single pointer bumps — no hashing, no string building, no
+// allocation. Components resolve their handles once at construction
+// and use them on every simulated event.
+//
+// The zero Counter is invalid; handles must come from
+// Counters.Counter.
+type Counter struct {
+	v *uint64
+}
+
+// Counter interns name (on first use) and returns its handle.
+func (c *Counters) Counter(name string) Counter { return Counter{v: c.cell(name)} }
+
+// Inc adds one to the counter.
+func (h Counter) Inc() { *h.v++ }
+
+// Add adds delta to the counter.
+func (h Counter) Add(delta uint64) { *h.v += delta }
+
+// Get returns the current value.
+func (h Counter) Get() uint64 { return *h.v }
+
 // Inc adds one to the named counter.
-func (c *Counters) Inc(name string) { c.m[name]++ }
+func (c *Counters) Inc(name string) { *c.cell(name)++ }
 
 // Add adds delta to the named counter.
-func (c *Counters) Add(name string, delta uint64) { c.m[name] += delta }
+func (c *Counters) Add(name string, delta uint64) { *c.cell(name) += delta }
 
 // Get returns the current value of the named counter (zero if never
 // touched).
-func (c *Counters) Get(name string) uint64 { return c.m[name] }
+func (c *Counters) Get(name string) uint64 {
+	if p, ok := c.cells[name]; ok {
+		return *p
+	}
+	return 0
+}
 
 // Set overwrites the named counter. Used for gauge-like values such as
-// final cycle counts.
-func (c *Counters) Set(name string, v uint64) { c.m[name] = v }
+// final cycle counts. (Setting a counter to zero makes it disappear
+// from Names/Snapshot, like a counter that was never touched.)
+func (c *Counters) Set(name string, v uint64) { *c.cell(name) = v }
 
-// Names returns all counter names in sorted order.
+// Names returns the names of all non-zero counters in sorted order.
 func (c *Counters) Names() []string {
-	names := make([]string, 0, len(c.m))
-	for k := range c.m {
-		names = append(names, k)
+	names := make([]string, 0, len(c.cells))
+	for k, p := range c.cells {
+		if *p != 0 {
+			names = append(names, k)
+		}
 	}
 	sort.Strings(names)
 	return names
 }
 
-// Snapshot returns a copy of the counter map.
+// Snapshot returns a copy of the non-zero counters as a map.
 func (c *Counters) Snapshot() map[string]uint64 {
-	out := make(map[string]uint64, len(c.m))
-	for k, v := range c.m {
-		out[k] = v
+	out := make(map[string]uint64, len(c.cells))
+	for k, p := range c.cells {
+		if *p != 0 {
+			out[k] = *p
+		}
 	}
 	return out
 }
 
 // Merge adds every counter and histogram in other into c.
 func (c *Counters) Merge(other *Counters) {
-	for k, v := range other.m {
-		c.m[k] += v
+	for k, p := range other.cells {
+		if *p != 0 {
+			*c.cell(k) += *p
+		}
 	}
 	for k, h := range other.hists {
 		c.Hist(k).Merge(h)
@@ -75,9 +145,9 @@ func (c *Counters) Merge(other *Counters) {
 // types.
 func (c *Counters) Sum(prefix string) uint64 {
 	var total uint64
-	for k, v := range c.m {
+	for k, p := range c.cells {
 		if strings.HasPrefix(k, prefix) {
-			total += v
+			total += *p
 		}
 	}
 	return total

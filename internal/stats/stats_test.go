@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -71,6 +72,107 @@ func TestCountersMergeAndSnapshot(t *testing.T) {
 	a.Inc("x")
 	if snap["x"] != 3 {
 		t.Fatal("snapshot must be a copy, not a view")
+	}
+}
+
+func TestCounterHandleAliasesStringAPI(t *testing.T) {
+	c := NewCounters()
+	h := c.Counter("bus/txn/read")
+	h.Inc()
+	c.Inc("bus/txn/read")
+	h.Add(3)
+	if got := c.Get("bus/txn/read"); got != 5 {
+		t.Fatalf("after handle+string increments, Get = %d, want 5", got)
+	}
+	if got := h.Get(); got != 5 {
+		t.Fatalf("handle Get = %d, want 5", got)
+	}
+	// A second handle for the same name hits the same cell.
+	c.Counter("bus/txn/read").Inc()
+	if got := h.Get(); got != 6 {
+		t.Fatalf("second handle must alias the first: Get = %d, want 6", got)
+	}
+}
+
+func TestCounterInternedButUntouchedInvisible(t *testing.T) {
+	c := NewCounters()
+	h := c.Counter("never/hit")
+	c.Counter("hit/once").Inc()
+	names := c.Names()
+	if len(names) != 1 || names[0] != "hit/once" {
+		t.Fatalf("Names() = %v, want [hit/once]: interned-but-zero counters must stay invisible", names)
+	}
+	if _, ok := c.Snapshot()["never/hit"]; ok {
+		t.Fatal("zero-valued interned counter leaked into Snapshot")
+	}
+	h.Inc()
+	if len(c.Names()) != 2 {
+		t.Fatalf("after first Inc the counter must appear: %v", c.Names())
+	}
+}
+
+func TestCounterHandleStableAcrossInterning(t *testing.T) {
+	// Handles must survive arbitrary later interning (backing blocks
+	// may grow but never move).
+	c := NewCounters()
+	h := c.Counter("stable")
+	for i := 0; i < 10*counterBlock; i++ {
+		c.Counter(fmt.Sprintf("filler/%d", i)).Inc()
+	}
+	h.Inc()
+	if got := c.Get("stable"); got != 1 {
+		t.Fatalf("handle detached from its cell after interning churn: %d", got)
+	}
+}
+
+func TestSumPrefixAfterHandleInterning(t *testing.T) {
+	c := NewCounters()
+	read := c.Counter("bus/txn/read")
+	readx := c.Counter("bus/txn/readx")
+	c.Counter("bus/txn/upgrade") // interned, never hit: contributes 0
+	read.Add(10)
+	readx.Add(5)
+	c.Add("bus/txn/validate", 2) // string API joins the same namespace
+	c.Inc("bus/other")
+	if got := c.Sum("bus/txn/"); got != 17 {
+		t.Fatalf("Sum(bus/txn/) = %d, want 17", got)
+	}
+	if got := c.Sum("bus/"); got != 18 {
+		t.Fatalf("Sum(bus/) = %d, want 18", got)
+	}
+}
+
+func TestCountersMergeWithHistograms(t *testing.T) {
+	a, b := NewCounters(), NewCounters()
+	a.Counter("x").Inc()
+	a.Hist("lat").Observe(4)
+	b.Inc("x")
+	b.Counter("y").Add(3)
+	b.Hist("lat").Observe(8)
+	b.Hist("occ").Observe(1)
+	a.Merge(b)
+	if a.Get("x") != 2 || a.Get("y") != 3 {
+		t.Fatalf("after merge: x=%d y=%d", a.Get("x"), a.Get("y"))
+	}
+	if n := a.Hist("lat").N(); n != 2 {
+		t.Fatalf("merged hist n = %d, want 2", n)
+	}
+	if got := a.Hist("lat").Sum(); got != 12 {
+		t.Fatalf("merged hist sum = %d, want 12", got)
+	}
+	if n := a.Hist("occ").N(); n != 1 {
+		t.Fatalf("hist present only in other must merge: n = %d", n)
+	}
+}
+
+func TestCounterIncDoesNotAllocate(t *testing.T) {
+	c := NewCounters()
+	h := c.Counter("hot/path")
+	if avg := testing.AllocsPerRun(1000, func() {
+		h.Inc()
+		h.Add(2)
+	}); avg != 0 {
+		t.Fatalf("Counter.Inc/Add allocate %v per run, want 0", avg)
 	}
 }
 

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Perf-regression harness. Runs the simulator throughput benchmarks and
+# writes a versioned BENCH_<n>.json record (schema tssim-bench/v1) with
+# the headline per-simulated-cycle metrics:
+#
+#   ns_per_sim_cycle      wall time per simulated cycle
+#   allocs_per_sim_cycle  steady-state heap allocations per cycle (must stay 0)
+#   bytes_per_sim_cycle   steady-state heap bytes per cycle
+#   parallel_speedup      Fig-7 matrix wall-clock, serial over parallel
+#
+# Usage:
+#   scripts/bench.sh                      full run, writes next BENCH_<n>.json
+#   scripts/bench.sh -short               quick run (1 iteration, no parallel
+#                                         bench); CI smoke mode
+#   scripts/bench.sh -compare BENCH_0.json   also diff against a baseline
+#                                            record; non-zero exit past ~30%
+#   scripts/bench.sh -out FILE            write the record to FILE instead
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SHORT=0
+COMPARE=""
+OUT=""
+while [ $# -gt 0 ]; do
+    case "$1" in
+    -short) SHORT=1 ;;
+    -compare)
+        COMPARE=$2
+        shift
+        ;;
+    -out)
+        OUT=$2
+        shift
+        ;;
+    *)
+        echo "usage: scripts/bench.sh [-short] [-compare BASE.json] [-out FILE]" >&2
+        exit 2
+        ;;
+    esac
+    shift
+done
+
+# -short trades precision for CI wall-clock: one iteration and no
+# parallel-speedup bench (compare skips the absent metric).
+BENCHES='^BenchmarkSimulatorThroughput$'
+BENCHTIME=1x
+if [ "$SHORT" = 0 ]; then
+    BENCHES='^(BenchmarkSimulatorThroughput|BenchmarkFig7_Parallel)$'
+    BENCHTIME=5x
+fi
+
+if [ -z "$OUT" ]; then
+    n=0
+    while [ -e "BENCH_${n}.json" ]; do n=$((n + 1)); done
+    OUT="BENCH_${n}.json"
+fi
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+go test -run '^$' -bench "$BENCHES" -benchtime "$BENCHTIME" . | tee "$raw"
+go run ./cmd/benchjson -out "$OUT" <"$raw"
+echo "bench: wrote $OUT"
+
+if [ -n "$COMPARE" ]; then
+    go run ./cmd/benchjson -compare -threshold 0.30 "$COMPARE" "$OUT"
+fi
