@@ -1,0 +1,55 @@
+package main
+
+import "testing"
+
+// Repeated benchmark lines (-count=N) must aggregate best-of-N for the
+// noise-dominated wall metrics and worst-of-N for the exact allocation
+// guard: the guard fails on same-code runs otherwise (shared runners
+// show >50% wall-time swings), and min-of-N must never be able to hide
+// an allocation that only some runs exhibit.
+func TestParseBenchAggregatesRepeats(t *testing.T) {
+	rec, err := parseBench([]string{
+		"cpu: Test CPU @ 2.10GHz",
+		"BenchmarkSimulatorThroughput 	 1	 400000000 ns/op	 0 B/sim-cycle	 0 allocs/sim-cycle	 5400 ns/sim-cycle	 73972 sim-cycles	 253977 sim-instrs",
+		"BenchmarkSimulatorThroughput 	 1	 260000000 ns/op	 8 B/sim-cycle	 1 allocs/sim-cycle	 3500 ns/sim-cycle	 73972 sim-cycles	 253977 sim-instrs",
+		"BenchmarkSimulatorThroughput 	 1	 300000000 ns/op	 0 B/sim-cycle	 0 allocs/sim-cycle	 4100 ns/sim-cycle	 73972 sim-cycles	 253977 sim-instrs",
+		"BenchmarkFig7_Parallel 	 1	 900000000 ns/op	 2.1 parallel-speedup",
+		"BenchmarkFig7_Parallel 	 1	 800000000 ns/op	 2.9 parallel-speedup",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.NsPerSimCycle != 3500 {
+		t.Errorf("ns/sim-cycle = %v, want min 3500", rec.NsPerSimCycle)
+	}
+	if rec.AllocsPerSimCycle != 1 {
+		t.Errorf("allocs/sim-cycle = %v, want max 1", rec.AllocsPerSimCycle)
+	}
+	if rec.BytesPerSimCycle != 8 {
+		t.Errorf("B/sim-cycle = %v, want max 8", rec.BytesPerSimCycle)
+	}
+	if rec.ParallelSpeedup != 2.9 {
+		t.Errorf("parallel-speedup = %v, want max 2.9", rec.ParallelSpeedup)
+	}
+	if rec.CPUName != "Test CPU @ 2.10GHz" {
+		t.Errorf("cpu = %q", rec.CPUName)
+	}
+}
+
+func TestParseBenchRequiresThroughput(t *testing.T) {
+	if _, err := parseBench([]string{"PASS"}); err == nil {
+		t.Fatal("parseBench accepted input without the throughput benchmark")
+	}
+}
+
+// A candidate within the threshold passes; one past it on wall time or
+// above baseline on allocations is reported.
+func TestCompare(t *testing.T) {
+	base := Record{NsPerSimCycle: 3000, ParallelSpeedup: 2.5}
+	if bad := compare(base, Record{NsPerSimCycle: 3500, ParallelSpeedup: 2.4}, 0.30); len(bad) != 0 {
+		t.Errorf("in-threshold candidate flagged: %v", bad)
+	}
+	if bad := compare(base, Record{NsPerSimCycle: 4500, AllocsPerSimCycle: 0.5, ParallelSpeedup: 1.0}, 0.30); len(bad) != 3 {
+		t.Errorf("regressions flagged = %v, want all three", bad)
+	}
+}

@@ -32,6 +32,7 @@ func main() {
 		scale    = flag.Int("scale", 2, "workload scale factor")
 		seeds    = flag.Int("seeds", 3, "runs per configuration (CI)")
 		jobs     = flag.Int("j", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		chk      = flag.Bool("check", false, "attach the coherence invariant checker to every run")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -45,7 +46,7 @@ func main() {
 	}
 	defer stopProf()
 
-	p := experiments.Params{CPUs: *cpus, Scale: *scale, Seeds: *seeds, Jobs: *jobs}
+	p := experiments.Params{CPUs: *cpus, Scale: *scale, Seeds: *seeds, Jobs: *jobs, Check: *chk}
 
 	ran := false
 	if *table1 || *all {

@@ -70,7 +70,7 @@ func main() {
 		seeds   = flag.Int("seeds", 1, "runs with latency jitter (CI when > 1)")
 		jobs    = flag.Int("j", 0, "concurrent runs for -seeds > 1 (0 = GOMAXPROCS)")
 		verbose = flag.Bool("verbose", false, "dump all event counters and histograms")
-		check   = flag.Bool("check", false, "enable the in-order commit checker")
+		check   = flag.Bool("check", false, "attach the coherence invariant checker (and the in-order commit checker)")
 
 		tracePath   = flag.String("trace", "", "write a coherence event trace to this file")
 		traceFormat = flag.String("trace-format", "jsonl", "trace format: jsonl|chrome (chrome loads in Perfetto)")
@@ -101,6 +101,7 @@ func main() {
 	cfg := sim.ExperimentConfig()
 	cfg.CPUs = *cpus
 	cfg.Tech = tech
+	cfg.Check = *check
 	cfg.CheckCommits = *check
 
 	if *seeds > 1 {

@@ -238,8 +238,15 @@ type Bus struct {
 	CheckValidateData bool
 
 	// TraceGrant, when non-nil, observes every granted transaction
-	// (diagnostics).
+	// (diagnostics). It fires after the requester's GrantTxn accepts
+	// but before the snoop phase.
 	TraceGrant func(now uint64, t *Txn)
+
+	// onSerialized, when non-nil, observes every granted transaction
+	// *after* the snoop phase and memory side effects — i.e. at the
+	// instant the machine-wide state transition is complete. The
+	// coherence invariant checker (internal/check) hangs here.
+	onSerialized func(now uint64, t *Txn)
 }
 
 // New builds a bus over the given backing memory. counters may be
@@ -289,6 +296,18 @@ func (b *Bus) Config() Config { return b.cfg }
 
 // SetTracer attaches the event tracer (nil disables tracing).
 func (b *Bus) SetTracer(tr *trace.Tracer) { b.tr = tr }
+
+// OnSerialized registers an observer of every successfully granted
+// transaction, called after the snoop phase and any memory side
+// effects — the point where the transaction's machine-wide state
+// transition is complete. Nil disables the hook.
+func (b *Bus) OnSerialized(fn func(now uint64, t *Txn)) { b.onSerialized = fn }
+
+// LineBusy reports whether the line containing addr has an in-flight
+// data transfer (grant issued, delivery or fill hold pending). While
+// busy, custody of the line's current value may rest in the in-flight
+// transaction rather than any cache or memory.
+func (b *Bus) LineBusy(addr uint64) bool { return b.busyCount(mem.LineAddr(addr)) > 0 }
 
 // Attach registers a controller and returns its node id.
 func (b *Bus) Attach(p Port) int {
@@ -487,6 +506,9 @@ func (b *Bus) grant(t *Txn, now uint64) {
 		panic(fmt.Sprintf("bus: unknown txn type %d", t.Type))
 	}
 	b.inflight = append(b.inflight, t)
+	if b.onSerialized != nil {
+		b.onSerialized(now, t)
+	}
 }
 
 func (b *Bus) deliver(now uint64) {

@@ -1,0 +1,234 @@
+// Randomized litmus programs: small N-core workloads, generated from a
+// 64-bit seed, whose final memory image is computable in closed form.
+// Each program mixes exactly the idioms the paper's techniques key on —
+// LL/SC lock acquire/release pairs (temporally silent), exact-revert
+// silent store pairs on falsely shared private words, racing LL/SC
+// fetch-and-adds, and plain shared loads — so running one program under
+// every technique combo and checking the same expected finals is a
+// differential oracle over the whole protocol space. The fuzz harness
+// in litmus_test.go drives these across sim.AllCombos with the
+// coherence checker attached.
+package check
+
+import (
+	"fmt"
+
+	"tssim/internal/isa"
+	"tssim/internal/mem"
+	"tssim/internal/workload"
+)
+
+// Litmus memory layout. Locks get a line each; counters, cells, and
+// per-CPU slots each share one line so every flavor of false sharing is
+// exercised. Cell j is protected by lock j%litmusLocks; slots are
+// private to their CPU (word i of the slot line belongs to CPU i).
+const (
+	litmusLockBase = 0x1000 // + j*0x40, one line per lock
+	litmusCtrBase  = 0x4000 // + j*8, all counters in one line
+	litmusCellBase = 0x5000 // + j*8, all cells in one line
+	litmusSlotBase = 0x6000 // + i*8, CPU i's private word
+
+	litmusLocks = 2
+	litmusCtrs  = 4
+	litmusCells = 4
+)
+
+// LitmusParams identifies one litmus program. The zero value is not
+// useful; Litmus normalizes out-of-range fields, so any byte soup from
+// the fuzzer names a valid program.
+type LitmusParams struct {
+	Seed uint64
+	CPUs int // clamped to [2, 4]
+	Ops  int // operations per CPU, clamped to [1, 48]
+}
+
+func (p LitmusParams) normalized() LitmusParams {
+	if p.CPUs < 2 {
+		p.CPUs = 2
+	}
+	if p.CPUs > 4 {
+		p.CPUs = 4
+	}
+	if p.Ops < 1 {
+		p.Ops = 1
+	}
+	if p.Ops > 48 {
+		p.Ops = 48
+	}
+	return p
+}
+
+// String renders the params in the replayable form the fuzz failure
+// report prints: pass it back through -litmus.replay.
+func (p LitmusParams) String() string {
+	p = p.normalized()
+	return fmt.Sprintf("seed=%#x cpus=%d ops=%d", p.Seed, p.CPUs, p.Ops)
+}
+
+// litmusRNG is a splitmix64 stream; the generator draws every choice
+// from it so one seed fully determines the program.
+type litmusRNG struct{ x uint64 }
+
+func (r *litmusRNG) next() uint64 {
+	r.x += 0x9e3779b97f4a7c15
+	z := r.x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n).
+func (r *litmusRNG) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Scratch registers for litmus programs, above the R1-R5 range the
+// workload kernels clobber.
+const (
+	litRA   = isa.R8  // operand address
+	litRV   = isa.R9  // value scratch
+	litRV2  = isa.R10 // second value scratch
+	litRSum = isa.R11 // shared-load sink
+	litRDel = isa.R12 // delay chain register
+)
+
+// Litmus generates the program set and the closed-form expected finals
+// for every tracked word (locks free, counters and cells at their
+// summed totals, slots at the last value each CPU wrote). The returned
+// workload's Validate checks exactly that map, so a litmus run fails
+// functionally the moment any combo loses a store, resurrects a stale
+// value, or leaks a lock.
+func Litmus(p LitmusParams) (workload.Workload, map[uint64]uint64) {
+	p = p.normalized()
+	rng := &litmusRNG{x: p.Seed}
+
+	expected := make(map[uint64]uint64)
+	for j := 0; j < litmusLocks; j++ {
+		expected[litmusLockBase+uint64(j)*mem.LineSize] = 0
+	}
+	for j := 0; j < litmusCtrs; j++ {
+		expected[litmusCtrBase+uint64(j)*8] = 0x100 + uint64(j)
+	}
+	for j := 0; j < litmusCells; j++ {
+		expected[litmusCellBase+uint64(j)*8] = 0x200 + uint64(j)
+	}
+	for i := 0; i < p.CPUs; i++ {
+		expected[litmusSlotBase+uint64(i)*8] = 0x300 + uint64(i)
+	}
+	init := make(map[uint64]uint64, len(expected))
+	for a, v := range expected {
+		init[a] = v
+	}
+
+	progs := make([]*isa.Program, p.CPUs)
+	for cpu := 0; cpu < p.CPUs; cpu++ {
+		b := isa.NewBuilder(fmt.Sprintf("litmus-cpu%d", cpu))
+		slot := uint64(litmusSlotBase + cpu*8)
+		// Skewed backoff: symmetric contenders on a deterministic bus
+		// can LL/SC-livelock without it.
+		backoff := 60 + cpu*37
+		for op := 0; op < p.Ops; op++ {
+			switch rng.intn(6) {
+			case 0: // racing LL/SC fetch-and-add on a shared counter
+				c := rng.intn(litmusCtrs)
+				d := int64(1 + rng.intn(8))
+				addr := uint64(litmusCtrBase + c*8)
+				b.Li(litRA, int64(addr))
+				workload.EmitAtomicAdd(b, litRA, d, isa.R0, backoff)
+				expected[addr] += uint64(d)
+			case 1: // lock-protected add: acquire/release is a silent pair
+				c := rng.intn(litmusCells)
+				lock := uint64(litmusLockBase + (c%litmusLocks)*mem.LineSize)
+				addr := uint64(litmusCellBase + c*8)
+				d := int64(1 + rng.intn(16))
+				unsafeISync := rng.intn(8) == 0 // occasionally defeat SLE
+				b.Li(litRA, int64(lock))
+				workload.EmitAcquire(b, litRA, unsafeISync, backoff)
+				b.Li(litRV, int64(addr))
+				b.Ld(litRV2, litRV, 0)
+				b.Addi(litRV2, litRV2, d)
+				b.St(litRV2, litRV, 0)
+				workload.EmitRelease(b, litRA)
+				expected[addr] += uint64(d)
+			case 2: // private slot write (falsely shared line)
+				v := rng.next() | 1 // nonzero so reverts stay distinguishable
+				b.Li(litRA, int64(slot))
+				b.Li(litRV, int64(v))
+				b.St(litRV, litRA, 0)
+				expected[slot] = v
+			case 3: // exact-revert silent pair on the private slot
+				b.Li(litRA, int64(slot))
+				b.Ld(litRV, litRA, 0)
+				b.Addi(litRV2, litRV, 1)
+				b.St(litRV2, litRA, 0)
+				b.Work(10 + rng.intn(30))
+				b.St(litRV, litRA, 0) // temporally silent: restores the old value
+			case 4: // plain shared load (racy read; value not validated)
+				var addr uint64
+				if rng.intn(2) == 0 {
+					addr = uint64(litmusCtrBase + rng.intn(litmusCtrs)*8)
+				} else {
+					addr = uint64(litmusCellBase + rng.intn(litmusCells)*8)
+				}
+				b.Li(litRA, int64(addr))
+				b.Ld(litRV, litRA, 0)
+				b.Add(litRSum, litRSum, litRV)
+			case 5: // think time: decorrelates the CPUs' lock arrivals
+				b.Delay(litRDel, 20+rng.intn(100))
+			}
+		}
+		b.Halt()
+		progs[cpu] = b.Build()
+	}
+
+	w := workload.Workload{
+		Name:     fmt.Sprintf("litmus-%016x-c%d-o%d", p.Seed, p.CPUs, p.Ops),
+		Programs: progs,
+		Init: func(m *mem.Memory) {
+			for a, v := range init {
+				m.WriteWord(a, v)
+			}
+		},
+		Validate: func(_ *mem.Memory, read func(uint64) uint64) error {
+			for a, want := range expected {
+				if got := read(a); got != want {
+					return fmt.Errorf("litmus final @%#x: got %#x, want %#x", a, got, want)
+				}
+			}
+			return nil
+		},
+	}
+	return w, expected
+}
+
+// ShrinkLitmus greedily minimizes a failing params tuple: it walks Ops
+// down (halving, then decrementing) and then CPUs down, keeping every
+// step for which fails still reports true. The result is the smallest
+// program the caller's predicate still rejects — what the fuzz harness
+// prints as the replayable reproducer.
+func ShrinkLitmus(p LitmusParams, fails func(LitmusParams) bool) LitmusParams {
+	p = p.normalized()
+	for p.Ops > 1 {
+		cand := p
+		cand.Ops = p.Ops / 2
+		if !fails(cand.normalized()) {
+			break
+		}
+		p = cand.normalized()
+	}
+	for p.Ops > 1 {
+		cand := p
+		cand.Ops--
+		if !fails(cand.normalized()) {
+			break
+		}
+		p = cand.normalized()
+	}
+	for p.CPUs > 2 {
+		cand := p
+		cand.CPUs--
+		if !fails(cand.normalized()) {
+			break
+		}
+		p = cand.normalized()
+	}
+	return p
+}

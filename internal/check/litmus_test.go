@@ -1,0 +1,157 @@
+package check_test
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+
+	"tssim/internal/bus"
+	"tssim/internal/cache"
+	"tssim/internal/check"
+	"tssim/internal/sim"
+)
+
+// litmusReplay re-runs one failing program printed by the fuzz
+// shrinker: go test ./internal/check -run TestLitmusReplay
+// -litmus.replay "seed=0x1234 cpus=2 ops=7"
+var litmusReplay = flag.String("litmus.replay", "", "replay one litmus program (format: seed=0x… cpus=N ops=M)")
+
+// litmusConfig is the litmus machine: deliberately tiny caches and
+// small structural limits so eviction, writeback, MSHR exhaustion, and
+// store-buffer pressure all happen within a few thousand cycles, and a
+// fast interconnect so a fuzz iteration finishes quickly. The
+// coherence checker and the in-order commit checker are both on.
+func litmusConfig(tech sim.Techniques, cpus int, seed int64) sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.CPUs = cpus
+	cfg.Tech = tech
+	cfg.Seed = seed
+	cfg.Node.L1 = cache.Config{SizeBytes: 512, Assoc: 2}
+	cfg.Node.L2 = cache.Config{SizeBytes: 2 * 1024, Assoc: 4}
+	cfg.Node.MSHRs = 4
+	cfg.Node.StoreBuf = 4
+	cfg.Bus = bus.Config{
+		AddrLatency:   20,
+		AddrOccupancy: 2,
+		MemLatency:    60,
+		C2CLatency:    40,
+		DataOccupancy: 4,
+		JitterMax:     int(uint64(seed)%5) + 1,
+	}
+	cfg.MaxCycles = 3_000_000
+	cfg.NoProgressCycles = 400_000
+	cfg.Check = true
+	cfg.CheckCommits = true
+	cfg.CheckSweepEvery = 64
+	return cfg
+}
+
+// runLitmusAll runs one litmus program under every technique combo of
+// Figure 7 with the coherence checker attached, validates each run's
+// finals against the closed-form expectation, and differentially
+// compares every combo's finals against the baseline's. Any run error
+// (checker violation, deadlock, validation failure) or cross-combo
+// divergence is returned.
+func runLitmusAll(p check.LitmusParams) error {
+	var baseline map[uint64]uint64
+	for _, tech := range sim.AllCombos() {
+		w, expected := check.Litmus(p)
+		cfg := litmusConfig(tech, len(w.Programs), int64(p.Seed))
+		s := sim.New(cfg, w)
+		if _, err := s.RunErr(w); err != nil {
+			return fmt.Errorf("%s under %s: %w", p, tech, err)
+		}
+		finals := make(map[uint64]uint64, len(expected))
+		for a := range expected {
+			finals[a] = s.ReadWordCoherent(a)
+		}
+		if baseline == nil {
+			baseline = finals
+			continue
+		}
+		for a, v := range finals {
+			if bv := baseline[a]; v != bv {
+				return fmt.Errorf("%s under %s: final @%#x = %#x diverges from baseline %#x",
+					p, tech, a, v, bv)
+			}
+		}
+	}
+	return nil
+}
+
+// reportLitmusFailure shrinks a failing program to its minimal
+// reproducer and fails the test with a replayable command line.
+func reportLitmusFailure(t *testing.T, p check.LitmusParams, err error) {
+	t.Helper()
+	min := check.ShrinkLitmus(p, func(cand check.LitmusParams) bool {
+		return runLitmusAll(cand) != nil
+	})
+	minErr := runLitmusAll(min)
+	t.Fatalf("litmus failure: %v\nminimal reproducer: %v (%s)\nreplay with: go test ./internal/check -run TestLitmusReplay -litmus.replay %q",
+		err, minErr, min, min.String())
+}
+
+// TestLitmusCorpus runs a fixed corpus of litmus programs — a breadth
+// of seeds, CPU counts, and lengths — differentially across all nine
+// combos with the checker on. This is the deterministic regression
+// net; FuzzLitmus explores beyond it.
+func TestLitmusCorpus(t *testing.T) {
+	corpus := []check.LitmusParams{
+		{Seed: 0x0000000000000001, CPUs: 2, Ops: 8},
+		{Seed: 0x0000000000000002, CPUs: 2, Ops: 24},
+		{Seed: 0xdeadbeefcafef00d, CPUs: 2, Ops: 48},
+		{Seed: 0x0123456789abcdef, CPUs: 3, Ops: 12},
+		{Seed: 0xfedcba9876543210, CPUs: 3, Ops: 32},
+		{Seed: 0x00000000bad5eed5, CPUs: 3, Ops: 48},
+		{Seed: 0x1111111111111111, CPUs: 4, Ops: 8},
+		{Seed: 0x2222222222222222, CPUs: 4, Ops: 16},
+		{Seed: 0x4242424242424242, CPUs: 4, Ops: 24},
+		{Seed: 0x9e3779b97f4a7c15, CPUs: 4, Ops: 32},
+		{Seed: 0xbf58476d1ce4e5b9, CPUs: 4, Ops: 40},
+		{Seed: 0x94d049bb133111eb, CPUs: 4, Ops: 48},
+	}
+	if testing.Short() {
+		corpus = corpus[:4]
+	}
+	for _, p := range corpus {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			t.Parallel()
+			if err := runLitmusAll(p); err != nil {
+				reportLitmusFailure(t, p, err)
+			}
+		})
+	}
+}
+
+// FuzzLitmus is the randomized protocol fuzzer: any three fuzz inputs
+// name a valid program (Litmus normalizes them), which runs under all
+// nine combos with the coherence checker attached. A failure is
+// shrunk to a minimal reproducer and printed in replayable form.
+func FuzzLitmus(f *testing.F) {
+	f.Add(uint64(1), uint8(2), uint8(8))
+	f.Add(uint64(0xdeadbeefcafef00d), uint8(4), uint8(48))
+	f.Add(uint64(0x9e3779b97f4a7c15), uint8(3), uint8(24))
+	f.Add(uint64(0x4242424242424242), uint8(4), uint8(16))
+	f.Fuzz(func(t *testing.T, seed uint64, cpus, ops uint8) {
+		p := check.LitmusParams{Seed: seed, CPUs: int(cpus), Ops: int(ops)}
+		if err := runLitmusAll(p); err != nil {
+			reportLitmusFailure(t, p, err)
+		}
+	})
+}
+
+// TestLitmusReplay re-runs one program from the -litmus.replay flag;
+// it is the second half of the shrinker's reproducer recipe.
+func TestLitmusReplay(t *testing.T) {
+	if *litmusReplay == "" {
+		t.Skip("no -litmus.replay given")
+	}
+	var p check.LitmusParams
+	if _, err := fmt.Sscanf(*litmusReplay, "seed=0x%x cpus=%d ops=%d", &p.Seed, &p.CPUs, &p.Ops); err != nil {
+		t.Fatalf("cannot parse -litmus.replay %q: %v", *litmusReplay, err)
+	}
+	if err := runLitmusAll(p); err != nil {
+		t.Fatalf("replay %s: %v", p, err)
+	}
+}

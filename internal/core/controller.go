@@ -33,6 +33,7 @@ type ctrlCounters struct {
 	l2Hit               stats.Counter
 	l2Miss              stats.Counter
 	l2MSHRFull          stats.Counter
+	l2MSHROrphanFill    stats.Counter
 	l2LLExclusiveFetch  stats.Counter
 	l2EvictDirty        stats.Counter
 	l2EvictClean        stats.Counter
@@ -74,6 +75,7 @@ func resolveCtrlCounters(cs *stats.Counters) ctrlCounters {
 		l2Hit:               cs.Counter("l2/hit"),
 		l2Miss:              cs.Counter("l2/miss"),
 		l2MSHRFull:          cs.Counter("l2/mshr_full"),
+		l2MSHROrphanFill:    cs.Counter("l2/mshr_orphan_fill"),
 		l2LLExclusiveFetch:  cs.Counter("l2/ll_exclusive_fetch"),
 		l2EvictDirty:        cs.Counter("l2/evict_dirty"),
 		l2EvictClean:        cs.Counter("l2/evict_clean"),
@@ -116,7 +118,8 @@ type Controller struct {
 	client Client
 	cnt    ctrlCounters
 	tr     *trace.Tracer
-	now    uint64 // last ticked cycle (latency accounting)
+	sink   CheckSink // coherence checker's store-visibility tap (nil when off)
+	now    uint64    // last ticked cycle (latency accounting)
 
 	// Scratch slices reused across serveMSHR calls (the client does
 	// not retain them).
@@ -228,6 +231,10 @@ func (c *Controller) ID() int { return c.id }
 
 // SetTracer attaches the event tracer (nil disables tracing).
 func (c *Controller) SetTracer(tr *trace.Tracer) { c.tr = tr }
+
+// SetCheckSink attaches the coherence checker's store-visibility tap
+// (nil disables it).
+func (c *Controller) SetCheckSink(s CheckSink) { c.sink = s }
 
 // traceState emits a protocol state-transition event.
 func (c *Controller) traceState(la uint64, from, to State) {
@@ -379,6 +386,9 @@ func (c *Controller) StoreCommit(seq, pc, addr, val uint64) bool {
 		return false
 	}
 	c.storeBuf = append(c.storeBuf, storeEntry{seq: seq, pc: pc, addr: mem.AlignWord(addr), val: val})
+	if c.sink != nil {
+		c.sink.StoreBuffered(c.id, mem.AlignWord(addr), val, false)
+	}
 	return true
 }
 
@@ -390,6 +400,9 @@ func (c *Controller) SCExecute(seq, pc, addr, val uint64) bool {
 		return false
 	}
 	c.storeBuf = append(c.storeBuf, storeEntry{seq: seq, pc: pc, addr: mem.AlignWord(addr), val: val, isSC: true})
+	if c.sink != nil {
+		c.sink.StoreBuffered(c.id, mem.AlignWord(addr), val, true)
+	}
 	return true
 }
 
@@ -499,6 +512,9 @@ func (c *Controller) tryPerformHead() bool {
 		c.resValid = false
 		c.cnt.storeSCFail.Inc()
 		c.client.SCDone(e.seq, false)
+		if c.sink != nil {
+			c.sink.StoreDrained(c.id, e.addr, false)
+		}
 		c.popStore()
 		return true
 	}
@@ -517,6 +533,9 @@ func (c *Controller) tryPerformHead() bool {
 			c.cnt.storeSCSuccess.Inc()
 			c.client.SCDone(e.seq, true)
 		}
+		if c.sink != nil {
+			c.sink.StoreDrained(c.id, e.addr, false)
+		}
 		c.popStore()
 		return true
 	}
@@ -524,6 +543,9 @@ func (c *Controller) tryPerformHead() bool {
 	// Permission held: perform.
 	if l2line != nil && Writable(l2line.State) {
 		c.performStore(l2line, e, slot)
+		if c.sink != nil {
+			c.sink.StoreDrained(c.id, e.addr, true)
+		}
 		c.popStore()
 		return true
 	}
@@ -558,6 +580,9 @@ func (c *Controller) performStore(l *cache.Line, e *storeEntry, slot int) {
 	l.SetWord(slot, e.val)
 	c.l2.Touch(l)
 	c.cnt.storePerformed.Inc()
+	if c.sink != nil {
+		c.sink.StorePerformed(c.id, e.addr, e.val)
+	}
 	if e.isSC {
 		c.resValid = false
 		c.cnt.storeSCSuccess.Inc()
@@ -761,6 +786,33 @@ func (c *Controller) Detector() stale.Detector { return c.detector }
 
 // ForEachL2 visits every allocated L2 frame (invariant checks).
 func (c *Controller) ForEachL2(fn func(l *cache.Line)) { c.l2.ForEach(fn) }
+
+// L1Holds reports whether the L1 presence array holds the line
+// containing addr (the inclusion invariant: L1 presence requires a
+// readable L2 line).
+func (c *Controller) L1Holds(addr uint64) bool {
+	return c.l1.Lookup(mem.LineAddr(addr)) != nil
+}
+
+// WBInfo reports whether the writeback buffer holds the line and how
+// many writeback transactions are pending for it (the two must agree:
+// buffered iff pending > 0).
+func (c *Controller) WBInfo(addr uint64) (buffered bool, pending int) {
+	la := mem.LineAddr(addr)
+	_, buffered = c.wbBuf[la]
+	return buffered, c.wbPending[la]
+}
+
+// ForEachWB visits every line held in the writeback buffer.
+func (c *Controller) ForEachWB(fn func(la uint64)) {
+	for la := range c.wbBuf {
+		fn(la)
+	}
+}
+
+// MSHRsInUse returns the number of live MSHRs (leak detection at
+// quiesce).
+func (c *Controller) MSHRsInUse() int { return c.mshrs.InUse() }
 
 // DebugMSHRs renders live MSHRs (diagnostics).
 func (c *Controller) DebugMSHRs() string {

@@ -184,3 +184,23 @@ type SpecStore struct {
 	Addr  uint64
 	Value uint64
 }
+
+// CheckSink receives store-visibility events from a controller for the
+// machine-wide coherence checker (internal/check). The checker needs
+// them because a store to an M/E line performs with no bus transaction
+// at all — the bus serialization hook alone cannot maintain a golden
+// memory. All addresses are word-aligned. A nil sink costs one pointer
+// comparison per event site.
+type CheckSink interface {
+	// StoreBuffered fires when a retired store (or an executing SC)
+	// enters the post-retirement store buffer.
+	StoreBuffered(node int, addr, val uint64, isSC bool)
+	// StoreDrained fires when the buffer head leaves the buffer:
+	// performed=true for a store that wrote its line, false for a
+	// failed SC or an update-silent squash.
+	StoreDrained(node int, addr uint64, performed bool)
+	// StorePerformed fires at the instant a store becomes globally
+	// visible (performStore): buffer drain, upgrade grant, or SLE
+	// atomic commit.
+	StorePerformed(node int, addr, val uint64)
+}

@@ -266,8 +266,7 @@ func (c *Controller) CompleteTxn(t *bus.Txn) {
 
 	case bus.TxnReadX:
 		c.traceState(la, c.LineState(la), StateM)
-		l := c.installL2(la, t.Data, StateM)
-		_ = l
+		c.installL2(la, t.Data, StateM)
 		if c.detector != nil {
 			// The received contents are the globally visible value
 			// at the invalidation instant: the reversion candidate.
@@ -348,7 +347,14 @@ func (c *Controller) markStoresReady(la uint64) {
 func (c *Controller) serveMSHR(t *bus.Txn) {
 	m := c.mshrs.Lookup(t.Addr)
 	if m == nil {
-		return // SLE prefetch completions may have no waiters... but they do allocate; defensive
+		// A data fill with no live MSHR for the line. Every allocation
+		// path (load miss, store miss, SLE prefetch) holds its MSHR
+		// until completion, so this indicates either a protocol bug or
+		// a leak — count and trace it so the checker's no-leaked-MSHR
+		// quiesce invariant (and post-mortems) can attribute it.
+		c.cnt.l2MSHROrphanFill.Inc()
+		c.tr.Emit(trace.Event{Kind: trace.KMSHROrphan, Node: int32(c.id), Addr: t.Addr, A: uint8(t.Type)})
+		return
 	}
 	ok := m.Verify(&t.Data)
 	if !ok {

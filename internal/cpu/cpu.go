@@ -355,6 +355,18 @@ func (c *Core) Reg(r int) uint64 { return c.regs[r] }
 // SLEStats exposes the elision engine (nil when disabled).
 func (c *Core) SLEStats() *sleEngine { return c.sle }
 
+// ElidedLockValue reports the lock word and speculative (never
+// performed) acquire value of the currently active SLE region. The
+// coherence checker's retired-load oracle consults it: a region load
+// of the elided lock legitimately observes the acquire value even
+// though no store ever becomes globally visible.
+func (c *Core) ElidedLockValue() (addr, val uint64, ok bool) {
+	if c.sle == nil || !c.sle.active {
+		return 0, 0, false
+	}
+	return c.sle.lockAddr, c.sle.specVal, true
+}
+
 // freeEntry returns a dead RUU entry to the pool for reuse by
 // dispatchOne. Callers must have dropped every reference to it first
 // (bySeq, regProd, drainISync, the SLE engine's region view).
@@ -1010,7 +1022,6 @@ func (c *Core) windowAfter(seq uint64) []*entry {
 }
 
 var _ core.Client = (*Core)(nil)
-var _ = mem.LineAddr // referenced by sle.go via this package
 
 // DebugSLE renders the SLE engine's last-abort diagnostics (debug aid).
 func (c *Core) DebugSLE() string {

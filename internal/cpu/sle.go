@@ -59,6 +59,7 @@ type sleEngine struct {
 	lockAddr uint64 // word address of the elided lock
 	lockLine uint64
 	origVal  uint64 // pre-acquire lock value the release must restore
+	specVal  uint64 // the elided SC's (never-performed) store value
 
 	readSet  map[uint64]bool // lines read inside the region
 	writeSet map[uint64]bool // lines speculatively written
@@ -151,6 +152,7 @@ func (s *sleEngine) tryStart(e *entry) bool {
 	s.lockAddr = e.effAddr
 	s.lockLine = mem.LineAddr(e.effAddr)
 	s.origVal = s.core.lastLL.value
+	s.specVal = e.src[1]
 	clear(s.readSet)
 	clear(s.writeSet)
 	s.readSet[s.lockLine] = true

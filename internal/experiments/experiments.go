@@ -38,6 +38,10 @@ type Params struct {
 	Scale int // workload iteration multiplier
 	Seeds int // runs per configuration for confidence intervals
 	Jobs  int // concurrent simulations (0 = GOMAXPROCS)
+	// Check attaches the coherence invariant checker (internal/check)
+	// to every run of the sweep; a violation surfaces as that cell's
+	// failure. Identical results, measurable slowdown.
+	Check bool
 }
 
 func (p Params) withDefaults() Params {
@@ -61,6 +65,7 @@ func (p Params) config(tech sim.Techniques) sim.Config {
 	cfg := sim.ExperimentConfig()
 	cfg.CPUs = p.CPUs
 	cfg.Tech = tech
+	cfg.Check = p.Check
 	return cfg
 }
 

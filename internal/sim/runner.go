@@ -129,11 +129,25 @@ func (r *Runner) RunAll(jobs []Job) []Result {
 	return results
 }
 
+// sampleSeed derives run i's seed from the sweep cell's base seed with
+// a splitmix64-style 64-bit mix. The historical derivation, base +
+// i*7919, collided across sweep cells whose base seeds differ by a
+// multiple of 7919 (cell A's run i reused cell B's run i±k jitter
+// stream), silently correlating "independent" samples in RunSample's
+// confidence intervals. Mixing both inputs through the full avalanche
+// makes any two (base, i) pairs produce unrelated seeds.
+func sampleSeed(base int64, i int) int64 {
+	x := uint64(base) + 0x9e3779b97f4a7c15*uint64(i+1)
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return int64(x ^ (x >> 31))
+}
+
 // SampleJobs expands one (config, workload) pair into the n seeded
 // jobs of the multi-run confidence-interval methodology: jitter is
-// enabled (JitterMax 5 when unset) and run i gets seed base + i*7919,
-// exactly the derivation the serial RunSample loop has always used —
-// keeping parallel samples bit-identical to serial ones.
+// enabled (JitterMax 5 when unset) and run i gets sampleSeed(base, i).
+// Serial and parallel execution use the same derivation, so samples
+// are bit-identical at any parallelism.
 func SampleJobs(cfg Config, w Workload, n int) []Job {
 	if cfg.Bus.JitterMax <= 0 {
 		cfg.Bus.JitterMax = 5
@@ -141,7 +155,7 @@ func SampleJobs(cfg Config, w Workload, n int) []Job {
 	jobs := make([]Job, n)
 	for i := range jobs {
 		c := cfg
-		c.Seed = cfg.Seed + int64(i)*7919
+		c.Seed = sampleSeed(cfg.Seed, i)
 		jobs[i] = Job{Cfg: c, W: w}
 	}
 	return jobs

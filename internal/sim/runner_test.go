@@ -238,3 +238,31 @@ func TestRunOneErrRecoversPanic(t *testing.T) {
 		t.Error("no stack captured for the recovered panic")
 	}
 }
+
+// TestSampleSeedNoCrossCellCollisions is the regression guard for the
+// seed-derivation fix: the historical base+i*7919 scheme made sweep
+// cells whose base seeds differ by a multiple of 7919 reuse each
+// other's jitter streams (base 0 run 1 == base 7919 run 0), silently
+// correlating "independent" samples. The splitmix64 derivation must
+// give every (base, run) pair a distinct seed across bases including
+// exact multiples of the old stride.
+func TestSampleSeedNoCrossCellCollisions(t *testing.T) {
+	// The historical failure, reproduced with the old formula so the
+	// test documents what went wrong.
+	if old := func(base int64, i int) int64 { return base + int64(i)*7919 }; old(0, 1) != old(7919, 0) {
+		t.Fatal("historical collision reproduction is wrong")
+	}
+	bases := []int64{0, 5, 7919, 2 * 7919, -7919}
+	const runs = 16
+	seen := make(map[int64][2]int, len(bases)*runs)
+	for bi, base := range bases {
+		for i := 0; i < runs; i++ {
+			s := sampleSeed(base, i)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: base=%d run=%d and base=%d run=%d both derive %d",
+					bases[prev[0]], prev[1], base, i, s)
+			}
+			seen[s] = [2]int{bi, i}
+		}
+	}
+}

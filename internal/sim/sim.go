@@ -19,6 +19,7 @@ import (
 
 	"tssim/internal/bus"
 	"tssim/internal/cache"
+	"tssim/internal/check"
 	"tssim/internal/core"
 	"tssim/internal/cpu"
 	"tssim/internal/mem"
@@ -111,6 +112,21 @@ type Config struct {
 
 	// CheckCommits enables the in-order commit checker on every core.
 	CheckCommits bool
+
+	// Check attaches the machine-wide coherence invariant checker
+	// (internal/check): SWMR, the golden-memory data-value invariant
+	// for every retired load and validate payload, and structural
+	// invariants, all validated at bus-grant serialization points. A
+	// violation ends the run with a *RunError carrying the post-mortem
+	// dump. The checker is a pure observer: cycle counts, counters,
+	// and final memory are bit-identical with it on or off. When no
+	// tracer is configured, a ring-only tracer is attached so the
+	// violation post-mortem includes the last trace events.
+	Check bool
+
+	// CheckSweepEvery overrides the checker's full-machine sweep
+	// stride in bus grants (0 = check.DefaultSweepEvery).
+	CheckSweepEvery int
 
 	// StaleDetector overrides the temporal-silence detector factory
 	// (per node); nil selects the perfect detector. Used by the
@@ -207,6 +223,9 @@ type System struct {
 	// every cycle.
 	retired     uint64
 	haltedCores int
+
+	// check is the attached coherence oracle (nil unless Config.Check).
+	check *check.Checker
 }
 
 // New assembles a system for the workload.
@@ -220,6 +239,11 @@ func New(cfg Config, w Workload) *System {
 	}
 	if cfg.MaxCycles == 0 {
 		cfg.MaxCycles = DefaultMaxCycles
+	}
+	if cfg.Check && cfg.Trace == nil {
+		// Ring-only tracer so a checker violation's post-mortem can
+		// attach the last trace events. Purely observational.
+		cfg.Trace = trace.New(0, nil)
 	}
 	s := &System{cfg: cfg, Mem: mem.New(), Counters: stats.NewCounters()}
 	if w.Init != nil {
@@ -260,8 +284,19 @@ func New(cfg Config, w Workload) *System {
 		s.Cores = append(s.Cores, c)
 		s.Nodes = append(s.Nodes, ctrl)
 	}
+	if cfg.Check {
+		s.check = check.Attach(check.Config{
+			MESTI:      nodeCfg.MESTI,
+			EMESTI:     nodeCfg.EMESTI,
+			SweepEvery: cfg.CheckSweepEvery,
+		}, s.Bus, s.Mem, s.Nodes, s.Cores)
+	}
 	return s
 }
+
+// Checker exposes the attached coherence oracle (nil unless
+// Config.Check). Tests use it to force sweeps and inspect violations.
+func (s *System) Checker() *check.Checker { return s.check }
 
 // Step advances the whole machine one cycle.
 func (s *System) Step() {
@@ -325,20 +360,24 @@ func (s *System) RunErr(w Workload) (Result, error) {
 		} else if s.now-lastProgress > watchdog {
 			reason := fmt.Sprintf("no instruction retired for %d cycles at cycle %d (workload %q, tech %s) — deadlock",
 				watchdog, s.now, w.Name, s.cfg.Tech)
-			runErr = &RunError{Workload: w.Name, Tech: s.cfg.Tech, Reason: reason}
-			if out := s.cfg.PostMortemTo; out != nil {
-				s.PostMortem(out, reason)
-			} else {
-				var buf bytes.Buffer
-				s.PostMortem(&buf, reason)
-				runErr.PostMortem = buf.String()
-			}
+			runErr = s.failWithPostMortem(w, reason)
 			break
+		}
+		if s.check != nil {
+			if err := s.check.Tick(s.now); err != nil {
+				runErr = s.failWithPostMortem(w, err.Error())
+				break
+			}
 		}
 		if s.haltedCores == nCores && s.Bus.Idle() && s.storeBuffersEmpty() {
 			break
 		}
 		s.Step()
+	}
+	if runErr == nil && s.check != nil {
+		if err := s.check.Quiesce(); err != nil {
+			runErr = s.failWithPostMortem(w, err.Error())
+		}
 	}
 	res := Result{
 		Workload: w.Name,
@@ -371,6 +410,21 @@ func (s *System) RunErr(w Workload) (Result, error) {
 		return res, runErr
 	}
 	return res, nil
+}
+
+// failWithPostMortem builds a RunError for a failed run and routes the
+// machine dump: streamed to Config.PostMortemTo when set, else
+// captured into the error (essential under a parallel Runner).
+func (s *System) failWithPostMortem(w Workload, reason string) *RunError {
+	re := &RunError{Workload: w.Name, Tech: s.cfg.Tech, Reason: reason}
+	if out := s.cfg.PostMortemTo; out != nil {
+		s.PostMortem(out, reason)
+	} else {
+		var buf bytes.Buffer
+		s.PostMortem(&buf, reason)
+		re.PostMortem = buf.String()
+	}
+	return re
 }
 
 func (s *System) storeBuffersEmpty() bool {

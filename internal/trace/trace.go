@@ -44,6 +44,7 @@ const (
 	KSLECommit               // elided region retired atomically
 	KSLEAbort                // elision aborted (A = predictor.ElisionOutcome)
 	KMiss                    // data fetch classified at completion (A: 0 = memory, 1 = remote dirty cache)
+	KMSHROrphan              // data fill arrived with no live MSHR for the line (A = txn type)
 	kindCount
 )
 
@@ -65,6 +66,7 @@ var kindNames = [kindCount]string{
 	KSLECommit:   "sle-commit",
 	KSLEAbort:    "sle-abort",
 	KMiss:        "miss",
+	KMSHROrphan:  "mshr-orphan-fill",
 }
 
 // KindCount returns the number of defined kinds (exhaustive iteration
@@ -85,7 +87,7 @@ func (k Kind) Category() string {
 	switch k {
 	case KBusGrant, KBusAbort, KBusDeliver:
 		return "bus"
-	case KState, KMiss:
+	case KState, KMiss, KMSHROrphan:
 		return "coherence"
 	case KTSDetect, KValIssue, KValSuppress, KValCancel, KValUseful, KValUseless:
 		return "validate"
@@ -156,7 +158,7 @@ type Event struct {
 // ("S>M", "readx", "comm"). Empty when the kind carries none.
 func (e Event) Detail() string {
 	switch e.Kind {
-	case KBusGrant, KBusAbort, KBusDeliver:
+	case KBusGrant, KBusAbort, KBusDeliver, KMSHROrphan:
 		return TxnName(e.A)
 	case KState:
 		return StateName(e.A) + ">" + StateName(e.B)

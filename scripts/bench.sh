@@ -40,12 +40,17 @@ while [ $# -gt 0 ]; do
     shift
 done
 
-# -short trades precision for CI wall-clock: one iteration and no
-# parallel-speedup bench (compare skips the absent metric).
-BENCHES='^BenchmarkSimulatorThroughput$'
+# -short trades precision for CI wall-clock: one iteration per repeat
+# and no parallel-speedup bench (compare skips the absent metric).
+#
+# The throughput benchmark is repeated (-count 5) and benchjson keeps
+# the best run for wall time and the worst for allocations:
+# shared/virtualized runners show >50% same-code wall-time swings from
+# host CPU steal, and a single sample sits below that noise floor. The
+# minutes-long Fig-7 matrix amortizes that noise within one run, so
+# full mode runs it once.
 BENCHTIME=1x
 if [ "$SHORT" = 0 ]; then
-    BENCHES='^(BenchmarkSimulatorThroughput|BenchmarkFig7_Parallel)$'
     BENCHTIME=5x
 fi
 
@@ -57,7 +62,12 @@ fi
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
-go test -run '^$' -bench "$BENCHES" -benchtime "$BENCHTIME" . | tee "$raw"
+go test -run '^$' -bench '^BenchmarkSimulatorThroughput$' \
+    -benchtime "$BENCHTIME" -count 5 . | tee "$raw"
+if [ "$SHORT" = 0 ]; then
+    go test -run '^$' -bench '^BenchmarkFig7_Parallel$' \
+        -benchtime 5x -timeout 30m . | tee -a "$raw"
+fi
 go run ./cmd/benchjson -out "$OUT" <"$raw"
 echo "bench: wrote $OUT"
 
