@@ -17,6 +17,7 @@ import (
 
 	"tssim/internal/experiments"
 	"tssim/internal/sim"
+	"tssim/internal/telemetry"
 	"tssim/internal/trace"
 	"tssim/internal/workload"
 )
@@ -126,6 +127,14 @@ func BenchmarkFig7_Parallel(b *testing.B) {
 	serial := time.Since(start)
 
 	p := fig7BenchParams(0) // GOMAXPROCS workers
+	// The telemetry collector rides along so the benchmark can report
+	// the runner-diagnosis ratios next to parallel-speedup: a bad
+	// speedup arrives with its explanation (idle workers? GC pauses?
+	// construction overhead?). Collection is per-job bookkeeping,
+	// invisible at benchmark scale, and benchjson records the fields
+	// into BENCH_<n>.json.
+	tel := telemetry.New()
+	p.Telemetry = tel
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, _ = experiments.Fig7(p)
@@ -133,6 +142,10 @@ func BenchmarkFig7_Parallel(b *testing.B) {
 	perIter := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
 	b.ReportMetric(float64(serial.Nanoseconds())/perIter, "parallel-speedup")
 	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+	d := tel.Report().Diagnosis
+	b.ReportMetric(d.WorkerBusyFraction, "worker-busy-fraction")
+	b.ReportMetric(d.GCPauseShare, "gc-pause-share")
+	b.ReportMetric(d.ConstructShare, "construct-share")
 }
 
 // --- Figure 8: address-transaction breakdown ---

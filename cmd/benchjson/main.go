@@ -44,6 +44,15 @@ type Record struct {
 	BytesPerSimCycle  float64 `json:"bytes_per_sim_cycle"`
 	SimCycles         float64 `json:"sim_cycles,omitempty"`
 	ParallelSpeedup   float64 `json:"parallel_speedup,omitempty"`
+
+	// Runner-diagnosis ratios from the telemetry collector attached to
+	// BenchmarkFig7_Parallel. They explain the speedup number: a low
+	// WorkerBusyFraction means idle workers (serialization in the
+	// harness), a high GCPauseShare means the collector is fighting the
+	// sweep, a high ConstructShare means machine setup dominates.
+	WorkerBusyFraction float64 `json:"worker_busy_fraction,omitempty"`
+	GCPauseShare       float64 `json:"gc_pause_share,omitempty"`
+	ConstructShare     float64 `json:"construct_share,omitempty"`
 }
 
 // parseBench scans `go test -bench` output. Benchmark lines are
@@ -98,8 +107,13 @@ func parseBench(lines []string) (Record, error) {
 			rec.SimCycles = metrics["sim-cycles"]
 			sawThroughput = true
 		case "BenchmarkFig7_Parallel":
+			// The diagnosis ratios travel with the speedup they explain:
+			// when a repeat becomes the new best run, take its whole row.
 			if s := metrics["parallel-speedup"]; s > rec.ParallelSpeedup {
 				rec.ParallelSpeedup = s
+				rec.WorkerBusyFraction = metrics["worker-busy-fraction"]
+				rec.GCPauseShare = metrics["gc-pause-share"]
+				rec.ConstructShare = metrics["construct-share"]
 			}
 		}
 	}
@@ -142,6 +156,14 @@ func compare(base, cand Record, threshold float64) []string {
 		cand.ParallelSpeedup < base.ParallelSpeedup*(1-threshold) {
 		bad = append(bad, fmt.Sprintf("parallel-speedup %.2f -> %.2f",
 			base.ParallelSpeedup, cand.ParallelSpeedup))
+	}
+	// Worker busy fraction is a diagnosis, not a contract, so the check
+	// is loose: flag only a collapse past the threshold when both
+	// records carry the metric (-short runs skip the parallel bench).
+	if base.WorkerBusyFraction > 0 && cand.WorkerBusyFraction > 0 &&
+		cand.WorkerBusyFraction < base.WorkerBusyFraction*(1-threshold) {
+		bad = append(bad, fmt.Sprintf("worker-busy-fraction %.2f -> %.2f",
+			base.WorkerBusyFraction, cand.WorkerBusyFraction))
 	}
 	return bad
 }

@@ -13,8 +13,8 @@ func TestParseBenchAggregatesRepeats(t *testing.T) {
 		"BenchmarkSimulatorThroughput 	 1	 400000000 ns/op	 0 B/sim-cycle	 0 allocs/sim-cycle	 5400 ns/sim-cycle	 73972 sim-cycles	 253977 sim-instrs",
 		"BenchmarkSimulatorThroughput 	 1	 260000000 ns/op	 8 B/sim-cycle	 1 allocs/sim-cycle	 3500 ns/sim-cycle	 73972 sim-cycles	 253977 sim-instrs",
 		"BenchmarkSimulatorThroughput 	 1	 300000000 ns/op	 0 B/sim-cycle	 0 allocs/sim-cycle	 4100 ns/sim-cycle	 73972 sim-cycles	 253977 sim-instrs",
-		"BenchmarkFig7_Parallel 	 1	 900000000 ns/op	 2.1 parallel-speedup",
-		"BenchmarkFig7_Parallel 	 1	 800000000 ns/op	 2.9 parallel-speedup",
+		"BenchmarkFig7_Parallel 	 1	 900000000 ns/op	 2.1 parallel-speedup	 0.95 worker-busy-fraction	 0.03 gc-pause-share	 0.10 construct-share",
+		"BenchmarkFig7_Parallel 	 1	 800000000 ns/op	 2.9 parallel-speedup	 0.88 worker-busy-fraction	 0.02 gc-pause-share	 0.12 construct-share",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -30,6 +30,12 @@ func TestParseBenchAggregatesRepeats(t *testing.T) {
 	}
 	if rec.ParallelSpeedup != 2.9 {
 		t.Errorf("parallel-speedup = %v, want max 2.9", rec.ParallelSpeedup)
+	}
+	// The diagnosis fields must come from the best-speedup run, not be
+	// max'd independently (0.95 busy belongs to the slower repeat).
+	if rec.WorkerBusyFraction != 0.88 || rec.GCPauseShare != 0.02 || rec.ConstructShare != 0.12 {
+		t.Errorf("diagnosis = busy %v, gc %v, construct %v; want the best-speedup run's 0.88/0.02/0.12",
+			rec.WorkerBusyFraction, rec.GCPauseShare, rec.ConstructShare)
 	}
 	if rec.CPUName != "Test CPU @ 2.10GHz" {
 		t.Errorf("cpu = %q", rec.CPUName)
@@ -51,5 +57,22 @@ func TestCompare(t *testing.T) {
 	}
 	if bad := compare(base, Record{NsPerSimCycle: 4500, AllocsPerSimCycle: 0.5, ParallelSpeedup: 1.0}, 0.30); len(bad) != 3 {
 		t.Errorf("regressions flagged = %v, want all three", bad)
+	}
+}
+
+// The busy-fraction check fires only when both records carry the
+// metric: a -short candidate (no parallel bench, zero fields) must
+// compare cleanly against a full baseline, and a collapse past the
+// threshold must be flagged when both are present.
+func TestCompareWorkerBusyFraction(t *testing.T) {
+	base := Record{NsPerSimCycle: 3000, WorkerBusyFraction: 0.90}
+	if bad := compare(base, Record{NsPerSimCycle: 3000}, 0.30); len(bad) != 0 {
+		t.Errorf("metric-absent candidate flagged: %v", bad)
+	}
+	if bad := compare(base, Record{NsPerSimCycle: 3000, WorkerBusyFraction: 0.80}, 0.30); len(bad) != 0 {
+		t.Errorf("in-threshold busy fraction flagged: %v", bad)
+	}
+	if bad := compare(base, Record{NsPerSimCycle: 3000, WorkerBusyFraction: 0.40}, 0.30); len(bad) != 1 {
+		t.Errorf("collapsed busy fraction not flagged: %v", bad)
 	}
 }

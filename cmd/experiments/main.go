@@ -12,6 +12,7 @@ import (
 	"tssim/internal/experiments"
 	"tssim/internal/prof"
 	"tssim/internal/sim"
+	"tssim/internal/telemetry"
 )
 
 func main() {
@@ -34,19 +35,46 @@ func main() {
 		jobs     = flag.Int("j", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		chk      = flag.Bool("check", false, "attach the coherence invariant checker to every run")
 
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
+		timing = flag.Bool("timing", false, "append a wall-clock/sim-cycles-per-second footer to each table")
+
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile   = flag.String("memprofile", "", "write an allocation profile to this file at exit")
+		mutexProfile = flag.String("mutexprofile", "", "write a mutex-contention profile to this file at exit")
+		blockProfile = flag.String("blockprofile", "", "write a goroutine-blocking profile to this file at exit")
+
+		progress       = flag.Duration("progress", 0, "emit periodic sweep-progress heartbeats to stderr at this interval (e.g. 1s; 0 = off)")
+		progressFormat = flag.String("progress-format", "text", "heartbeat format: text|jsonl")
+		statusAddr     = flag.String("status-addr", "", "serve GET /status, expvar and pprof on this address while running (e.g. :8080 or 127.0.0.1:0)")
+		runnerStats    = flag.String("runnerstats", "", "write a tssim-runnerstats/v1 JSON harness report to this file at exit")
 	)
 	flag.Parse()
 
-	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	stopProf, err := prof.Config{CPU: *cpuProfile, Mem: *memProfile, Mutex: *mutexProfile, Block: *blockProfile}.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	defer stopProf()
 
-	p := experiments.Params{CPUs: *cpus, Scale: *scale, Seeds: *seeds, Jobs: *jobs, Check: *chk}
+	telOpts := telemetry.CLIOptions{
+		Progress:       *progress,
+		ProgressFormat: *progressFormat,
+		StatusAddr:     *statusAddr,
+		StatsPath:      *runnerStats,
+	}
+	tel, stopTel, err := telOpts.Start(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer func() {
+		if err := stopTel(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
+
+	p := experiments.Params{CPUs: *cpus, Scale: *scale, Seeds: *seeds, Jobs: *jobs, Check: *chk,
+		Telemetry: tel, Timing: *timing}
 
 	ran := false
 	if *table1 || *all {

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -14,6 +15,7 @@ import (
 
 	"tssim/internal/prof"
 	"tssim/internal/sim"
+	"tssim/internal/telemetry"
 	"tssim/internal/trace"
 	"tssim/internal/workload"
 )
@@ -61,6 +63,28 @@ func newTracer(path, format string) (*trace.Tracer, error) {
 	return trace.New(0, sink), nil
 }
 
+// runSingle executes one run. Without telemetry it keeps the
+// historical fail-fast path (RunOne panics on failure after streaming
+// the post-mortem). With a collector attached the run goes through a
+// one-job Runner so the single-run CLI gets the same heartbeats,
+// /status endpoint, and runner-stats report as a sweep; failures then
+// print cleanly instead of panicking.
+func runSingle(cfg sim.Config, w sim.Workload, tel *telemetry.Collector) sim.Result {
+	if tel == nil {
+		return sim.RunOne(cfg, w)
+	}
+	r := sim.NewRunner().Jobs(1).Collect(tel).RunAll([]sim.Job{{Cfg: cfg, W: w}})[0]
+	if r.Err != nil {
+		var re *sim.RunError
+		if errors.As(r.Err, &re) && re.PostMortem != "" {
+			fmt.Fprint(os.Stderr, re.PostMortem)
+		}
+		fmt.Fprintln(os.Stderr, r.Err)
+		os.Exit(1)
+	}
+	return r
+}
+
 func main() {
 	var (
 		name    = flag.String("workload", "tpc-b", "workload: "+strings.Join(workload.Names(), "|"))
@@ -76,17 +100,41 @@ func main() {
 		traceFormat = flag.String("trace-format", "jsonl", "trace format: jsonl|chrome (chrome loads in Perfetto)")
 		reportPath  = flag.String("report", "", "write a machine-readable JSON run report to this file")
 
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile   = flag.String("memprofile", "", "write an allocation profile to this file at exit")
+		mutexProfile = flag.String("mutexprofile", "", "write a mutex-contention profile to this file at exit")
+		blockProfile = flag.String("blockprofile", "", "write a goroutine-blocking profile to this file at exit")
+
+		progress       = flag.Duration("progress", 0, "emit periodic run-progress heartbeats to stderr at this interval (e.g. 1s; 0 = off)")
+		progressFormat = flag.String("progress-format", "text", "heartbeat format: text|jsonl")
+		statusAddr     = flag.String("status-addr", "", "serve GET /status, expvar and pprof on this address while running (e.g. :8080 or 127.0.0.1:0)")
+		runnerStats    = flag.String("runnerstats", "", "write a tssim-runnerstats/v1 JSON harness report to this file at exit")
 	)
 	flag.Parse()
 
-	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	stopProf, err := prof.Config{CPU: *cpuProfile, Mem: *memProfile, Mutex: *mutexProfile, Block: *blockProfile}.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	defer stopProf()
+
+	telOpts := telemetry.CLIOptions{
+		Progress:       *progress,
+		ProgressFormat: *progressFormat,
+		StatusAddr:     *statusAddr,
+		StatsPath:      *runnerStats,
+	}
+	tel, stopTel, err := telOpts.Start(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer func() {
+		if err := stopTel(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	tech, err := parseTech(*techStr)
 	if err != nil {
@@ -109,7 +157,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-trace and -report record a single run; use -seeds 1")
 			os.Exit(2)
 		}
-		s, err := sim.NewRunner().Jobs(*jobs).Sample(cfg, w, *seeds)
+		s, err := sim.NewRunner().Jobs(*jobs).Collect(tel).Sample(cfg, w, *seeds)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -126,7 +174,7 @@ func main() {
 		}
 		cfg.Trace = tr
 	}
-	r := sim.RunOne(cfg, w)
+	r := runSingle(cfg, w, tel)
 	if cfg.Trace != nil {
 		if err := cfg.Trace.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "trace: %v\n", err)

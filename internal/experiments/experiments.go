@@ -23,12 +23,14 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"tssim/internal/cache"
 	"tssim/internal/predictor"
 	"tssim/internal/sim"
 	"tssim/internal/stale"
 	"tssim/internal/stats"
+	"tssim/internal/telemetry"
 	"tssim/internal/workload"
 )
 
@@ -42,6 +44,15 @@ type Params struct {
 	// to every run of the sweep; a violation surfaces as that cell's
 	// failure. Identical results, measurable slowdown.
 	Check bool
+	// Telemetry, when non-nil, collects harness telemetry (per-job
+	// spans, worker busy time, runtime metrics) across every sweep
+	// this Params drives. Purely observational: tables are
+	// byte-identical with or without it.
+	Telemetry *telemetry.Collector
+	// Timing appends a wall-clock footer (runs, wall time, aggregate
+	// and per-run sim-cycles/s) after each table. Off by default so
+	// recorded table output stays byte-identical.
+	Timing bool
 }
 
 func (p Params) withDefaults() Params {
@@ -70,7 +81,49 @@ func (p Params) config(tech sim.Techniques) sim.Config {
 }
 
 func (p Params) runner() *sim.Runner {
-	return sim.NewRunner().Jobs(p.Jobs)
+	return sim.NewRunner().Jobs(p.Jobs).Collect(p.Telemetry)
+}
+
+// run executes jobs through the configured runner, timing the sweep
+// for the optional footer. Every table-producing experiment goes
+// through here so -timing covers them uniformly.
+func (p Params) run(jobs []sim.Job) (results []sim.Result, footer string) {
+	t0 := time.Now()
+	results = p.runner().RunAll(jobs)
+	return results, p.timingFooter(results, time.Since(t0))
+}
+
+// timingFooter renders the per-sweep wall-clock summary ("" unless
+// Params.Timing): sweep wall time, the sum of per-run walls (pool
+// busy time), total simulated cycles, and sim-cycles/s both aggregate
+// (cycles over sweep wall — the sweep throughput) and as the mean of
+// per-run rates (how fast one simulator instance runs when sharing
+// the host with its neighbors).
+func (p Params) timingFooter(results []sim.Result, wall time.Duration) string {
+	if !p.Timing {
+		return ""
+	}
+	var cycles uint64
+	var runWall time.Duration
+	var perRun float64
+	n := 0
+	for _, r := range results {
+		cycles += r.Cycles
+		runWall += r.Wall
+		if r.Err == nil && r.Wall > 0 {
+			perRun += r.SimCyclesPerSec()
+			n++
+		}
+	}
+	agg := 0.0
+	if wall > 0 {
+		agg = float64(cycles) / wall.Seconds()
+	}
+	if n > 0 {
+		perRun /= float64(n)
+	}
+	return fmt.Sprintf("timing: %d runs, wall %.2fs (run-wall sum %.2fs), %d sim-cycles, %.2fM sim-cycles/s aggregate, %.2fM/s per-run mean\n",
+		len(results), wall.Seconds(), runWall.Seconds(), cycles, agg/1e6, perRun/1e6)
 }
 
 // errCell is the table cell rendered for a failed run; the FAILED
@@ -119,7 +172,7 @@ func Table2(p Params) string {
 	for i, w := range ws {
 		jobs[i] = sim.Job{Cfg: p.config(sim.Techniques{MESTI: true, EMESTI: true}), W: w}
 	}
-	results := p.runner().RunAll(jobs)
+	results, timing := p.run(jobs)
 	t := stats.NewTable("Program", "Instr", "Loads", "Stores", "US Stores", "TS Stores", "IPC")
 	for i, r := range results {
 		if r.Err != nil {
@@ -134,7 +187,7 @@ func Table2(p Params) string {
 			fmt.Sprint(r.Counters["mesti/ts_detect"]),
 			stats.F(r.IPC()))
 	}
-	return t.String() + failNotes(results)
+	return t.String() + failNotes(results) + timing
 }
 
 // Fig6 reproduces the stale-storage study: communication misses under
@@ -172,7 +225,7 @@ func Fig6(p Params) string {
 			jobs = append(jobs, sim.Job{Cfg: cfg, W: w})
 		}
 	}
-	results := p.runner().RunAll(jobs)
+	results, timing := p.run(jobs)
 	header := []string{"Program"}
 	for _, v := range variants {
 		header = append(header, v.name)
@@ -190,7 +243,7 @@ func Fig6(p Params) string {
 		}
 		t.Row(row...)
 	}
-	return t.String() + failNotes(results)
+	return t.String() + failNotes(results) + timing
 }
 
 // Fig7Result holds one workload's normalized performance under every
@@ -216,7 +269,7 @@ func Fig7(p Params) (string, []Fig7Result) {
 			jobs = append(jobs, sim.SampleJobs(p.config(tech), w, p.Seeds)...)
 		}
 	}
-	all := p.runner().RunAll(jobs)
+	all, timing := p.run(jobs)
 
 	header := []string{"Program"}
 	for _, c := range combos[1:] {
@@ -270,7 +323,7 @@ func Fig7(p Params) (string, []Fig7Result) {
 		t.Row(row...)
 		results = append(results, res)
 	}
-	return t.String() + failNotes(all), results
+	return t.String() + failNotes(all) + timing, results
 }
 
 // Fig8 renders the address-transaction breakdown (Read/ReadX/Upgrade/
@@ -286,7 +339,7 @@ func Fig8(p Params) string {
 			jobs = append(jobs, sim.Job{Cfg: p.config(tech), W: w})
 		}
 	}
-	results := p.runner().RunAll(jobs)
+	results, timing := p.run(jobs)
 	t := stats.NewTable("Program", "Tech", "Read", "ReadX", "Upgrade", "Validate", "Total(norm)")
 	for wi, w := range ws {
 		var baseTotal float64
@@ -312,7 +365,7 @@ func Fig8(p Params) string {
 				fmt.Sprint(up), fmt.Sprint(va), stats.F(norm))
 		}
 	}
-	return t.String() + failNotes(results)
+	return t.String() + failNotes(results) + timing
 }
 
 // SLEStats reproduces the §4.2.3/§5.3.1 elision statistics: attempts,
@@ -324,7 +377,7 @@ func SLEStats(p Params) string {
 	for i, w := range ws {
 		jobs[i] = sim.Job{Cfg: p.config(sim.Techniques{SLE: true}), W: w}
 	}
-	results := p.runner().RunAll(jobs)
+	results, timing := p.run(jobs)
 	t := stats.NewTable("Program", "SC ops", "Attempts", "Success", "NoRelease", "Conflict", "Overflow", "Unsafe", "Filtered")
 	for i, r := range results {
 		if r.Err != nil {
@@ -341,7 +394,7 @@ func SLEStats(p Params) string {
 			fmt.Sprint(r.Counters["sle/abort_unsafe"]),
 			fmt.Sprint(r.Counters["sle/filtered"]))
 	}
-	return t.String() + failNotes(results)
+	return t.String() + failNotes(results) + timing
 }
 
 // PredictorAblation sweeps useful-validate predictor tunings around
@@ -369,7 +422,7 @@ func PredictorAblation(p Params) string {
 		cfg.Node.ValidateParams = tn
 		jobs = append(jobs, sim.Job{Cfg: cfg, W: w})
 	}
-	results := p.runner().RunAll(jobs)
+	results, timing := p.run(jobs)
 	base := results[0]
 	t := stats.NewTable("Tuning", "Cycles", "Speedup", "Validates", "Revalidates", "Suppressed")
 	for i, tn := range tunings {
@@ -386,7 +439,7 @@ func PredictorAblation(p Params) string {
 			fmt.Sprint(r.Counters["mesti/revalidate"]),
 			fmt.Sprint(r.Counters["mesti/validate_suppressed"]))
 	}
-	return t.String() + failNotes(results)
+	return t.String() + failNotes(results) + timing
 }
 
 // MissBreakdown reports per-workload communication vs memory misses
@@ -402,7 +455,7 @@ func MissBreakdown(p Params) string {
 			sim.Job{Cfg: p.config(sim.Techniques{}), W: w},
 			sim.Job{Cfg: p.config(sim.Techniques{LVP: true}), W: w})
 	}
-	results := p.runner().RunAll(jobs)
+	results, timing := p.run(jobs)
 	t := stats.NewTable("Program", "CommMiss", "MemMiss", "Comm%", "LVP ok", "LVP fail", "FalseShare~%")
 	for i, w := range ws {
 		b, l := results[2*i], results[2*i+1]
@@ -424,7 +477,7 @@ func MissBreakdown(p Params) string {
 		t.Row(w.Name, fmt.Sprint(comm), fmt.Sprint(memm),
 			stats.Pct(commPct), fmt.Sprint(ok), fmt.Sprint(fail), stats.Pct(fsPct))
 	}
-	return t.String() + failNotes(results)
+	return t.String() + failNotes(results) + timing
 }
 
 // CountersDump renders all counters of one run (diagnostics). A failed

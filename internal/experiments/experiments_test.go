@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"tssim/internal/sim"
+	"tssim/internal/telemetry"
 	"tssim/internal/workload"
 )
 
@@ -154,5 +155,46 @@ func TestCountersDumpUnknownWorkload(t *testing.T) {
 	out := CountersDump(small(), "nosuch", sim.Techniques{})
 	if !strings.Contains(out, "unknown") {
 		t.Errorf("expected error text, got %q", out)
+	}
+}
+
+// TestTelemetryOutputByteIdentical is the acceptance guard for the
+// observability layer: attaching a collector must leave every rendered
+// artifact byte-identical (Timing off), because telemetry observes the
+// harness without touching what it renders. Timing on appends a footer
+// and nothing else.
+func TestTelemetryOutputByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	plain := small()
+	instrumented := small()
+	instrumented.Telemetry = telemetry.New()
+
+	for name, render := range map[string]func(Params) string{
+		"Table2":        Table2,
+		"MissBreakdown": MissBreakdown,
+	} {
+		want := render(plain)
+		if got := render(instrumented); got != want {
+			t.Errorf("%s differs with a collector attached:\nplain:\n%s\ninstrumented:\n%s", name, want, got)
+		}
+	}
+
+	// The collector must actually have seen those sweeps.
+	if rep := instrumented.Telemetry.Report(); rep.JobsDone == 0 {
+		t.Error("collector attached to the sweep recorded no jobs")
+	}
+
+	timed := small()
+	timed.Timing = true
+	out := Table2(timed)
+	base := Table2(plain)
+	if !strings.HasPrefix(out, base) {
+		t.Errorf("-timing changed the table body, not just the footer:\n%s", out)
+	}
+	footer := strings.TrimPrefix(out, base)
+	if !strings.Contains(footer, "timing:") || !strings.Contains(footer, "sim-cycles/s") {
+		t.Errorf("timing footer malformed: %q", footer)
 	}
 }

@@ -1,9 +1,12 @@
-// Package prof wires the standard -cpuprofile/-memprofile flags into
-// the CLIs. Profiles target the simulator's own hot paths (the cycle
-// loop audited by the perf-regression harness), so the CPU profile
-// covers the whole run and the heap profile is written at exit after a
-// final GC — the numbers line up with `go tool pprof` run against the
-// benchmarks.
+// Package prof wires the standard profiling flags into the CLIs.
+// Profiles target the simulator's own hot paths (the cycle loop
+// audited by the perf-regression harness), so the CPU profile covers
+// the whole run and the heap profile is written at exit after a final
+// GC — the numbers line up with `go tool pprof` run against the
+// benchmarks. Mutex and block profiles cover the parallel Runner:
+// they capture lock contention and channel/WaitGroup stalls between
+// workers, the harness-side costs the telemetry layer's busy
+// fractions point at.
 package prof
 
 import (
@@ -13,14 +16,27 @@ import (
 	"runtime/pprof"
 )
 
-// Start begins CPU profiling (when cpuPath is non-empty) and arranges
-// for a heap profile (when memPath is non-empty). The returned stop
-// function flushes both; call it on every exit path that should
-// produce profiles (a deferred call in main suffices).
-func Start(cpuPath, memPath string) (stop func(), err error) {
+// Config names the profile destinations; empty paths disable the
+// corresponding profile.
+type Config struct {
+	CPU   string // pprof CPU profile, whole process lifetime
+	Mem   string // allocation profile written at exit after a GC
+	Mutex string // mutex-contention profile written at exit
+	Block string // blocking (channel/select/WaitGroup) profile at exit
+}
+
+// Start begins the configured profiles. The returned stop function
+// flushes them; call it on every exit path that should produce
+// profiles (a deferred call in main suffices).
+//
+// Enabling the mutex or block profile sets the runtime's sampling to
+// capture every event (fraction/rate 1): exact data matters more than
+// sampling overhead for runs whose purpose is diagnosing the Runner,
+// and both profilers cost nothing when their flag is off.
+func (c Config) Start() (stop func(), err error) {
 	var cpuFile *os.File
-	if cpuPath != "" {
-		cpuFile, err = os.Create(cpuPath)
+	if c.CPU != "" {
+		cpuFile, err = os.Create(c.CPU)
 		if err != nil {
 			return nil, fmt.Errorf("cpuprofile: %w", err)
 		}
@@ -29,22 +45,46 @@ func Start(cpuPath, memPath string) (stop func(), err error) {
 			return nil, fmt.Errorf("cpuprofile: %w", err)
 		}
 	}
+	if c.Mutex != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
+	if c.Block != "" {
+		runtime.SetBlockProfileRate(1)
+	}
 	return func() {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
 			cpuFile.Close()
 		}
-		if memPath != "" {
-			f, err := os.Create(memPath)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
-				return
-			}
+		if c.Mem != "" {
 			runtime.GC() // settle live-heap numbers before the snapshot
-			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
-				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
-			}
-			f.Close()
+			writeProfile("allocs", c.Mem, "memprofile")
 		}
+		writeProfile("mutex", c.Mutex, "mutexprofile")
+		writeProfile("block", c.Block, "blockprofile")
 	}, nil
+}
+
+// writeProfile dumps the named runtime profile to path (no-op when
+// path is empty). Errors are reported, not fatal: a failed profile
+// write should not mask the run's own exit status.
+func writeProfile(profile, path, flagName string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", flagName, err)
+		return
+	}
+	if err := pprof.Lookup(profile).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", flagName, err)
+	}
+	f.Close()
+}
+
+// Start is the historical two-profile entry point, kept for callers
+// that only need CPU+mem.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	return Config{CPU: cpuPath, Mem: memPath}.Start()
 }

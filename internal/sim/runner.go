@@ -19,8 +19,10 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"tssim/internal/stats"
+	"tssim/internal/telemetry"
 )
 
 // RunError describes one failed simulation run: the deadlock watchdog
@@ -72,10 +74,37 @@ func RunOneErr(cfg Config, w Workload) (res Result) {
 	return res
 }
 
+// RunOneErrTimed is RunOneErr with a wall-clock phase breakdown for
+// the telemetry layer: construction (New, including workload memory
+// init) is timed apart from the simulate loop and the result
+// merge/validation epilogue (see System.runErr). The phase clocks are
+// pure observation — simulated cycles and counters are byte-identical
+// to the untimed path.
+func RunOneErrTimed(cfg Config, w Workload) (res Result, ph telemetry.JobPhases) {
+	defer func() {
+		if r := recover(); r != nil {
+			res.Workload = w.Name
+			res.Tech = cfg.Tech
+			res.Err = &RunError{
+				Workload:   w.Name,
+				Tech:       cfg.Tech,
+				Reason:     fmt.Sprintf("panic: %v", r),
+				PostMortem: string(debug.Stack()),
+			}
+		}
+	}()
+	t0 := time.Now()
+	s := New(cfg, w)
+	ph.Construct = time.Since(t0).Nanoseconds()
+	res, _ = s.runErr(w, &ph)
+	return res, ph
+}
+
 // Runner fans independent runs out across a bounded worker pool.
 // The zero value is not ready; use NewRunner.
 type Runner struct {
 	jobs int
+	tel  *telemetry.Collector
 }
 
 // NewRunner returns a Runner sized to runtime.GOMAXPROCS(0) workers.
@@ -93,6 +122,16 @@ func (r *Runner) Jobs(n int) *Runner {
 	return r
 }
 
+// Collect attaches a telemetry collector: every subsequent RunAll
+// reports per-job spans, per-worker busy time, and runtime metrics to
+// it. A nil collector (the default) leaves the execution paths exactly
+// as they were — no clocks are read per job, and results are
+// byte-identical either way. Returns the Runner for chaining.
+func (r *Runner) Collect(c *telemetry.Collector) *Runner {
+	r.tel = c
+	return r
+}
+
 // RunAll executes every job and returns results in job order. Failed
 // runs carry Result.Err; the rest of the sweep is unaffected. Jobs
 // must be independent: in particular they must not share a Tracer,
@@ -104,9 +143,31 @@ func (r *Runner) RunAll(jobs []Job) []Result {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	tel := r.tel
+	if tel != nil && len(jobs) > 0 {
+		poolWidth := workers
+		if poolWidth < 1 {
+			poolWidth = 1
+		}
+		tel.SweepStart(poolWidth, len(jobs))
+		defer tel.SweepEnd()
+	}
+	// runJob executes jobs[i] on the given worker slot. The telemetry
+	// branch times the job's phases and reports them; the plain branch
+	// is the historical zero-overhead path.
+	runJob := func(worker, i int) {
+		if tel == nil {
+			results[i] = RunOneErr(jobs[i].Cfg, jobs[i].W)
+			return
+		}
+		tok := tel.JobStart(worker)
+		res, ph := RunOneErrTimed(jobs[i].Cfg, jobs[i].W)
+		results[i] = res
+		tel.JobEnd(tok, res.Cycles, res.Err != nil, ph)
+	}
 	if workers <= 1 {
 		for i := range jobs {
-			results[i] = RunOneErr(jobs[i].Cfg, jobs[i].W)
+			runJob(0, i)
 		}
 		return results
 	}
@@ -114,12 +175,12 @@ func (r *Runner) RunAll(jobs []Job) []Result {
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range next {
-				results[i] = RunOneErr(jobs[i].Cfg, jobs[i].W)
+				runJob(worker, i)
 			}
-		}()
+		}(w)
 	}
 	for i := range jobs {
 		next <- i

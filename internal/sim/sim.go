@@ -16,6 +16,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"time"
 
 	"tssim/internal/bus"
 	"tssim/internal/cache"
@@ -25,6 +26,7 @@ import (
 	"tssim/internal/mem"
 	"tssim/internal/stale"
 	"tssim/internal/stats"
+	"tssim/internal/telemetry"
 	"tssim/internal/trace"
 	"tssim/internal/workload"
 )
@@ -195,6 +197,23 @@ type Result struct {
 	// still carries whatever cycles/counters it accumulated, so a
 	// post-mortem can read them. Nil on success.
 	Err error
+
+	// Wall is the host wall-clock time the run took (loop + result
+	// assembly + validation, excluding machine construction). It is a
+	// harness measurement, not a simulated quantity: it varies run to
+	// run and is deliberately excluded from reports, tables, and
+	// determinism comparisons. The experiments timing footer (-timing)
+	// and the telemetry layer read it.
+	Wall time.Duration
+}
+
+// SimCyclesPerSec returns simulated cycles per host wall-clock second
+// — the run-level throughput figure the timing footer reports.
+func (r Result) SimCyclesPerSec() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Cycles) / r.Wall.Seconds()
 }
 
 // IPC returns aggregate committed instructions per cycle across all
@@ -345,6 +364,16 @@ func (s *System) Run(w Workload) Result {
 // RunError.PostMortem rather than interleaved on stderr — essential
 // when many runs execute concurrently under a Runner.
 func (s *System) RunErr(w Workload) (Result, error) {
+	return s.runErr(w, nil)
+}
+
+// runErr is the RunErr core. When ph is non-nil the simulate loop and
+// the merge epilogue (counter snapshots + validation) are wall-clocked
+// into it for the telemetry layer; with ph nil only the two clock
+// reads backing Result.Wall are taken. Phase timing is a pure
+// observation — nothing simulated reads the host clock.
+func (s *System) runErr(w Workload, ph *telemetry.JobPhases) (Result, error) {
+	start := time.Now()
 	lastRetired := uint64(0)
 	lastProgress := uint64(0)
 	watchdog := s.cfg.NoProgressCycles
@@ -379,6 +408,10 @@ func (s *System) RunErr(w Workload) (Result, error) {
 			runErr = s.failWithPostMortem(w, err.Error())
 		}
 	}
+	mergeStart := time.Now()
+	if ph != nil {
+		ph.Simulate = mergeStart.Sub(start).Nanoseconds()
+	}
 	res := Result{
 		Workload: w.Name,
 		Tech:     s.cfg.Tech,
@@ -404,6 +437,11 @@ func (s *System) RunErr(w Workload) (Result, error) {
 					w.Name, s.cfg.Tech, err),
 			}
 		}
+	}
+	end := time.Now()
+	res.Wall = end.Sub(start)
+	if ph != nil {
+		ph.Merge = end.Sub(mergeStart).Nanoseconds()
 	}
 	if runErr != nil {
 		res.Err = runErr

@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// CLIOptions is the flag surface both CLIs expose for harness
+// telemetry. The zero value means "off": no collector is created and
+// the Runner keeps its uninstrumented paths.
+type CLIOptions struct {
+	Progress       time.Duration // heartbeat period (0 = no heartbeats)
+	ProgressFormat string        // "text" | "jsonl"
+	StatusAddr     string        // HTTP status/expvar/pprof listen address ("" = no server)
+	StatsPath      string        // write the tssim-runnerstats/v1 report here at stop ("" = don't)
+}
+
+// Active reports whether any telemetry facility was requested.
+func (o CLIOptions) Active() bool {
+	return o.Progress > 0 || o.StatusAddr != "" || o.StatsPath != ""
+}
+
+// Start builds the collector plus whatever observers the options ask
+// for: the progress emitter (heartbeats to logw), the HTTP status
+// server (its bound address is announced on logw as
+// "status: listening on ADDR" so scripts can discover a :0 port), and
+// the deferred runner-stats file. The returned stop function halts the
+// observers, writes the report, and must be called exactly once.
+func (o CLIOptions) Start(logw io.Writer) (*Collector, func() error, error) {
+	if !o.Active() {
+		return nil, func() error { return nil }, nil
+	}
+	if o.ProgressFormat == "" {
+		o.ProgressFormat = "text"
+	}
+	if o.ProgressFormat != "text" && o.ProgressFormat != "jsonl" {
+		return nil, nil, fmt.Errorf("telemetry: unknown progress format %q (use text|jsonl)", o.ProgressFormat)
+	}
+	c := New()
+	var stopProgress func()
+	if o.Progress > 0 {
+		stopProgress = StartProgress(logw, c, o.Progress, o.ProgressFormat)
+	}
+	var server *StatusServer
+	if o.StatusAddr != "" {
+		var err error
+		server, err = ServeStatus(o.StatusAddr, c)
+		if err != nil {
+			if stopProgress != nil {
+				stopProgress()
+			}
+			return nil, nil, fmt.Errorf("status-addr: %w", err)
+		}
+		fmt.Fprintf(logw, "status: listening on %s\n", server.Addr())
+	}
+	stop := func() error {
+		if stopProgress != nil {
+			stopProgress()
+		}
+		if server != nil {
+			server.Close()
+		}
+		if o.StatsPath != "" {
+			if err := c.Report().WriteFile(o.StatsPath); err != nil {
+				return err
+			}
+			fmt.Fprintf(logw, "runnerstats -> %s\n", o.StatsPath)
+		}
+		return nil
+	}
+	return c, stop, nil
+}

@@ -1,0 +1,198 @@
+package telemetry
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// The runtime/metrics series the sampler tracks. Missing names (older
+// toolchains) degrade to zero values instead of failing the run.
+const (
+	metricGCCycles   = "/gc/cycles/total:gc-cycles"
+	metricGCPauses   = "/sched/pauses/total/gc:seconds"
+	metricHeapLive   = "/memory/classes/heap/objects:bytes"
+	metricSchedLat   = "/sched/latencies:seconds"
+	metricGOMAXPROCS = "/sched/gomaxprocs:threads"
+)
+
+// runtimeSampler reads the Go runtime's own accounting around a sweep.
+// GC cycle/pause counters are cumulative, so the report uses the delta
+// between the first baseline and the latest sample — the GC activity
+// *during* the sweep, not since process start. Histogram series
+// (sched latency) are likewise differenced bucket-by-bucket.
+//
+// Not safe for concurrent use; the Collector serializes access under
+// its mutex.
+type runtimeSampler struct {
+	samples []metrics.Sample
+
+	baselined   bool
+	baseGC      uint64
+	basePauseNS int64
+	baseSched   *metrics.Float64Histogram
+
+	gcCycles    uint64 // delta since baseline
+	gcPauseNS   int64  // delta since baseline
+	heapLive    uint64 // latest
+	heapLiveMax uint64 // max observed across samples
+	schedP50NS  int64  // from the differenced latency histogram
+	schedP99NS  int64
+	gomaxprocs  int
+}
+
+func newRuntimeSampler() *runtimeSampler {
+	names := []string{metricGCCycles, metricGCPauses, metricHeapLive, metricSchedLat, metricGOMAXPROCS}
+	s := &runtimeSampler{samples: make([]metrics.Sample, len(names))}
+	for i, n := range names {
+		s.samples[i].Name = n
+	}
+	return s
+}
+
+// sampleBaseline records the pre-sweep state the deltas are taken
+// against. Only the first call arms the baseline: a collector spanning
+// several sweeps reports GC activity across all of them.
+func (s *runtimeSampler) sampleBaseline() {
+	if s.baselined {
+		s.sample()
+		return
+	}
+	metrics.Read(s.samples)
+	s.baseGC = s.uint64At(0)
+	s.basePauseNS = histSumNS(s.histAt(1))
+	s.baseSched = cloneHist(s.histAt(3))
+	s.baselined = true
+	s.absorb()
+}
+
+// sample refreshes the derived values from a fresh metrics.Read.
+func (s *runtimeSampler) sample() {
+	if !s.baselined {
+		s.sampleBaseline()
+		return
+	}
+	metrics.Read(s.samples)
+	s.absorb()
+}
+
+func (s *runtimeSampler) absorb() {
+	s.gcCycles = s.uint64At(0) - s.baseGC
+	if p := histSumNS(s.histAt(1)); p > s.basePauseNS {
+		s.gcPauseNS = p - s.basePauseNS
+	} else {
+		s.gcPauseNS = 0
+	}
+	s.heapLive = s.uint64At(2)
+	if s.heapLive > s.heapLiveMax {
+		s.heapLiveMax = s.heapLive
+	}
+	if d := diffHist(s.histAt(3), s.baseSched); d != nil {
+		s.schedP50NS = histQuantileNS(d, 0.50)
+		s.schedP99NS = histQuantileNS(d, 0.99)
+	}
+	s.gomaxprocs = int(s.uint64At(4))
+}
+
+func (s *runtimeSampler) uint64At(i int) uint64 {
+	if s.samples[i].Value.Kind() == metrics.KindUint64 {
+		return s.samples[i].Value.Uint64()
+	}
+	return 0
+}
+
+func (s *runtimeSampler) histAt(i int) *metrics.Float64Histogram {
+	if s.samples[i].Value.Kind() == metrics.KindFloat64Histogram {
+		return s.samples[i].Value.Float64Histogram()
+	}
+	return nil
+}
+
+func cloneHist(h *metrics.Float64Histogram) *metrics.Float64Histogram {
+	if h == nil {
+		return nil
+	}
+	out := &metrics.Float64Histogram{
+		Counts:  append([]uint64(nil), h.Counts...),
+		Buckets: append([]float64(nil), h.Buckets...),
+	}
+	return out
+}
+
+// diffHist returns cur - base bucket-by-bucket (runtime histograms are
+// cumulative counters per bucket). Nil when shapes disagree.
+func diffHist(cur, base *metrics.Float64Histogram) *metrics.Float64Histogram {
+	if cur == nil {
+		return nil
+	}
+	out := cloneHist(cur)
+	if base != nil && len(base.Counts) == len(out.Counts) {
+		for i := range out.Counts {
+			if base.Counts[i] <= out.Counts[i] {
+				out.Counts[i] -= base.Counts[i]
+			}
+		}
+	}
+	return out
+}
+
+// bucketMidSeconds returns a representative value for bucket i,
+// clamping the ±Inf edge buckets to their finite boundary.
+func bucketMidSeconds(h *metrics.Float64Histogram, i int) float64 {
+	lo, hi := h.Buckets[i], h.Buckets[i+1]
+	switch {
+	case math.IsInf(lo, -1):
+		return hi
+	case math.IsInf(hi, 1):
+		return lo
+	default:
+		return (lo + hi) / 2
+	}
+}
+
+// histSumNS approximates the histogram's total observed seconds (count
+// × bucket midpoint) in nanoseconds. Exact enough for pause-share
+// diagnosis: runtime pause buckets are fine-grained at the low end
+// where nearly all pauses land.
+func histSumNS(h *metrics.Float64Histogram) int64 {
+	if h == nil {
+		return 0
+	}
+	var sum float64
+	for i, n := range h.Counts {
+		if n > 0 {
+			sum += float64(n) * bucketMidSeconds(h, i)
+		}
+	}
+	return int64(sum * 1e9)
+}
+
+// histQuantileNS returns an upper bound on the q-quantile of the
+// histogram, in nanoseconds.
+func histQuantileNS(h *metrics.Float64Histogram, q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for _, n := range h.Counts {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, n := range h.Counts {
+		cum += n
+		if cum >= target {
+			hi := h.Buckets[i+1]
+			if math.IsInf(hi, 1) {
+				hi = h.Buckets[i]
+			}
+			return int64(hi * 1e9)
+		}
+	}
+	return int64(h.Buckets[len(h.Buckets)-1] * 1e9)
+}

@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// current is the collector the process-wide expvar hook reads; the
+// last StatusServer started owns it. expvar registration is global and
+// panics on re-publish, so it happens exactly once per process.
+var (
+	current    atomic.Pointer[Collector]
+	expvarOnce sync.Once
+)
+
+func publishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("tssim_runner", expvar.Func(func() any {
+			c := current.Load()
+			if c == nil {
+				return nil
+			}
+			return c.Snapshot()
+		}))
+	})
+}
+
+// StatusServer is the embryo of the ROADMAP's sweep service: an HTTP
+// server exposing the live sweep snapshot, the full runner-stats
+// report, expvar, and pprof while a sweep runs.
+//
+//	GET /status        atomics-based Snapshot (never blocks workers)
+//	GET /runnerstats   full tssim-runnerstats/v1 Report so far
+//	GET /debug/vars    expvar (includes tssim_runner + memstats)
+//	GET /debug/pprof/  net/http/pprof index (CPU, heap, mutex, block…)
+type StatusServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeStatus binds addr (":0" picks a free port) and serves status
+// for c in a background goroutine. Close the returned server when the
+// sweep ends.
+func ServeStatus(addr string, c *Collector) (*StatusServer, error) {
+	publishExpvar()
+	current.Store(c)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		c.Sample()
+		writeJSON(w, c.Snapshot())
+	})
+	mux.HandleFunc("/runnerstats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.Report())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &StatusServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address ("127.0.0.1:43210"), which is how
+// callers discover the port after ":0".
+func (s *StatusServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server immediately (in-flight handlers are not
+// drained; the process is exiting anyway).
+func (s *StatusServer) Close() error { return s.srv.Close() }
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	b = append(b, '\n')
+	w.Write(b)
+}

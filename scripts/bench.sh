@@ -7,6 +7,9 @@
 #   allocs_per_sim_cycle  steady-state heap allocations per cycle (must stay 0)
 #   bytes_per_sim_cycle   steady-state heap bytes per cycle
 #   parallel_speedup      Fig-7 matrix wall-clock, serial over parallel
+#   worker_busy_fraction  runner diagnosis: pool busy time / (workers × wall)
+#   gc_pause_share        runner diagnosis: GC stop-the-world pause / wall
+#   construct_share       runner diagnosis: machine construction / busy time
 #
 # Usage:
 #   scripts/bench.sh                      full run, writes next BENCH_<n>.json
