@@ -45,6 +45,15 @@ type Record struct {
 	SimCycles         float64 `json:"sim_cycles,omitempty"`
 	ParallelSpeedup   float64 `json:"parallel_speedup,omitempty"`
 
+	// FastForwardSkipFraction is skipped / total simulated cycles on
+	// the throughput workload — deterministic for a fixed workload, so
+	// a drop means the next-event fast-forward stopped engaging, not
+	// host noise. NsPerSimCycleNoFF is the same machine with the naive
+	// every-cycle loop; the ratio to NsPerSimCycle is the fast-forward
+	// speedup.
+	FastForwardSkipFraction float64 `json:"fastforward_skip_fraction,omitempty"`
+	NsPerSimCycleNoFF       float64 `json:"ns_per_sim_cycle_noff,omitempty"`
+
 	// Runner-diagnosis ratios from the telemetry collector attached to
 	// BenchmarkFig7_Parallel. They explain the speedup number: a low
 	// WorkerBusyFraction means idle workers (serialization in the
@@ -105,7 +114,14 @@ func parseBench(lines []string) (Record, error) {
 				rec.BytesPerSimCycle = b
 			}
 			rec.SimCycles = metrics["sim-cycles"]
+			// The skip fraction is a simulation outcome, not a timing:
+			// identical across repeats, so last-one-wins is fine.
+			rec.FastForwardSkipFraction = metrics["ff-skip-fraction"]
 			sawThroughput = true
+		case "BenchmarkSimulatorThroughputNoFF":
+			if ns := metrics["ns/sim-cycle"]; rec.NsPerSimCycleNoFF == 0 || ns < rec.NsPerSimCycleNoFF {
+				rec.NsPerSimCycleNoFF = ns
+			}
 		case "BenchmarkFig7_Parallel":
 			// The diagnosis ratios travel with the speedup they explain:
 			// when a repeat becomes the new best run, take its whole row.
@@ -164,6 +180,16 @@ func compare(base, cand Record, threshold float64) []string {
 		cand.WorkerBusyFraction < base.WorkerBusyFraction*(1-threshold) {
 		bad = append(bad, fmt.Sprintf("worker-busy-fraction %.2f -> %.2f",
 			base.WorkerBusyFraction, cand.WorkerBusyFraction))
+	}
+	// The skip fraction is deterministic for the fixed throughput
+	// workload: a drop past the threshold (including all the way to
+	// zero, which omits the field and parses as 0) means quiescence
+	// detection broke, which the wall-time guard may hide on a fast
+	// host. Only guarded when the baseline carries the metric.
+	if base.FastForwardSkipFraction > 0 &&
+		cand.FastForwardSkipFraction < base.FastForwardSkipFraction*(1-threshold) {
+		bad = append(bad, fmt.Sprintf("fastforward-skip-fraction %.3f -> %.3f",
+			base.FastForwardSkipFraction, cand.FastForwardSkipFraction))
 	}
 	return bad
 }

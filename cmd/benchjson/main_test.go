@@ -76,3 +76,44 @@ func TestCompareWorkerBusyFraction(t *testing.T) {
 		t.Errorf("collapsed busy fraction not flagged: %v", bad)
 	}
 }
+
+// The fast-forward metrics: the skip fraction rides the throughput
+// bench (deterministic, last-one-wins), the no-fast-forward wall time
+// aggregates best-of like the other timing metrics.
+func TestParseBenchFastForwardMetrics(t *testing.T) {
+	rec, err := parseBench([]string{
+		"BenchmarkSimulatorThroughput 	 1	 200000000 ns/op	 0 B/sim-cycle	 0 allocs/sim-cycle	 1600 ns/sim-cycle	 0.731 ff-skip-fraction	 145453 sim-cycles",
+		"BenchmarkSimulatorThroughputNoFF 	 1	 1400000000 ns/op	 9800 ns/sim-cycle	 145453 sim-cycles",
+		"BenchmarkSimulatorThroughputNoFF 	 1	 1300000000 ns/op	 9100 ns/sim-cycle	 145453 sim-cycles",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.FastForwardSkipFraction != 0.731 {
+		t.Errorf("fastforward_skip_fraction = %v, want 0.731", rec.FastForwardSkipFraction)
+	}
+	if rec.NsPerSimCycleNoFF != 9100 {
+		t.Errorf("ns_per_sim_cycle_noff = %v, want min 9100", rec.NsPerSimCycleNoFF)
+	}
+}
+
+// A skip-fraction collapse is flagged even when the candidate lost the
+// metric entirely (parses as zero) — unlike the busy-fraction guard,
+// absence here IS the failure mode being guarded against. A baseline
+// without the metric (pre-fast-forward records) guards nothing.
+func TestCompareSkipFractionCollapse(t *testing.T) {
+	base := Record{NsPerSimCycle: 3000, FastForwardSkipFraction: 0.70}
+	if bad := compare(base, Record{NsPerSimCycle: 3000, FastForwardSkipFraction: 0.65}, 0.30); len(bad) != 0 {
+		t.Errorf("in-threshold skip fraction flagged: %v", bad)
+	}
+	if bad := compare(base, Record{NsPerSimCycle: 3000, FastForwardSkipFraction: 0.10}, 0.30); len(bad) != 1 {
+		t.Errorf("collapsed skip fraction not flagged: %v", bad)
+	}
+	if bad := compare(base, Record{NsPerSimCycle: 3000}, 0.30); len(bad) != 1 {
+		t.Errorf("vanished skip fraction not flagged: %v", bad)
+	}
+	old := Record{NsPerSimCycle: 3000}
+	if bad := compare(old, Record{NsPerSimCycle: 3000, FastForwardSkipFraction: 0.70}, 0.30); len(bad) != 0 {
+		t.Errorf("pre-fast-forward baseline flagged: %v", bad)
+	}
+}

@@ -34,6 +34,7 @@ func main() {
 		seeds    = flag.Int("seeds", 3, "runs per configuration (CI)")
 		jobs     = flag.Int("j", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		chk      = flag.Bool("check", false, "attach the coherence invariant checker to every run")
+		noFF     = flag.Bool("no-fastforward", false, "disable next-event fast-forward and tick every cycle (bit-identical; debugging escape hatch)")
 
 		timing = flag.Bool("timing", false, "append a wall-clock/sim-cycles-per-second footer to each table")
 
@@ -74,7 +75,7 @@ func main() {
 	}()
 
 	p := experiments.Params{CPUs: *cpus, Scale: *scale, Seeds: *seeds, Jobs: *jobs, Check: *chk,
-		Telemetry: tel, Timing: *timing}
+		Telemetry: tel, Timing: *timing, NoFastForward: *noFF}
 
 	ran := false
 	if *table1 || *all {

@@ -95,6 +95,7 @@ func main() {
 		jobs    = flag.Int("j", 0, "concurrent runs for -seeds > 1 (0 = GOMAXPROCS)")
 		verbose = flag.Bool("verbose", false, "dump all event counters and histograms")
 		check   = flag.Bool("check", false, "attach the coherence invariant checker (and the in-order commit checker)")
+		noFF    = flag.Bool("no-fastforward", false, "disable next-event fast-forward and tick every cycle (bit-identical; debugging escape hatch)")
 
 		tracePath   = flag.String("trace", "", "write a coherence event trace to this file")
 		traceFormat = flag.String("trace-format", "jsonl", "trace format: jsonl|chrome (chrome loads in Perfetto)")
@@ -151,6 +152,7 @@ func main() {
 	cfg.Tech = tech
 	cfg.Check = *check
 	cfg.CheckCommits = *check
+	cfg.NoFastForward = *noFF
 
 	if *seeds > 1 {
 		if *tracePath != "" || *reportPath != "" {

@@ -364,6 +364,39 @@ func (b *Bus) Tick(now uint64) {
 	b.deliver(now)
 }
 
+// NextEvent returns the earliest future cycle at which the bus can
+// change observable state: the next completion delivery, the next
+// busy-line hold release, or the next possible grant when a grantable
+// request is queued. It returns now when the next Tick would act
+// immediately, and ^uint64(0) when the bus is fully idle. Queues whose
+// head targets a busy line need no separate term: they unblock only at
+// a delivery or hold release, both already in the horizon.
+func (b *Bus) NextEvent(now uint64) uint64 {
+	next := ^uint64(0)
+	for _, t := range b.inflight {
+		if t.doneAt < next {
+			next = t.doneAt
+		}
+	}
+	for _, h := range b.holds {
+		if h.at < next {
+			next = h.at
+		}
+	}
+	for _, q := range b.queues {
+		if len(q) == 0 || b.busyCount(q[0].Addr) > 0 {
+			continue
+		}
+		if b.addrFree <= now {
+			return now
+		}
+		if b.addrFree < next {
+			next = b.addrFree
+		}
+	}
+	return next
+}
+
 func (b *Bus) busyCount(addr uint64) int {
 	for i := range b.busy {
 		if b.busy[i].addr == addr {

@@ -159,6 +159,12 @@ func (k *Checker) Tick(now uint64) error {
 	return k.err
 }
 
+// NextEvent implements the fast-forward quiescence contract: the
+// checker is a pure observer driven by bus serialization events, so on
+// its own it never changes state — skipped Tick calls only overwrite
+// its clock, which the next Tick restores.
+func (k *Checker) NextEvent(uint64) uint64 { return ^uint64(0) }
+
 // goldenLine returns the golden copy of a line, lazily initializing
 // from backing memory on first observation.
 func (k *Checker) goldenLine(la uint64) *mem.Line {

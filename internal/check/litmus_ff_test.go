@@ -1,0 +1,89 @@
+package check_test
+
+import (
+	"fmt"
+	"testing"
+
+	"tssim/internal/check"
+	"tssim/internal/sim"
+)
+
+// litmusBothPaths runs one litmus program under one technique with the
+// coherence and commit checkers attached, once with next-event
+// fast-forward (the default) and once with the naive every-cycle loop,
+// and requires the two runs to agree on the error outcome, the cycle
+// count, every counter, and the final memory values. The checkers see
+// every store-visibility event either way, so a fast-forward bug that
+// perturbed coherence would surface as a verdict divergence here.
+func litmusBothPaths(p check.LitmusParams, tech sim.Techniques) error {
+	type outcome struct {
+		err     error
+		cycles  uint64
+		finals  map[uint64]uint64
+		counter map[string]uint64
+	}
+	run := func(noFF bool) outcome {
+		w, expected := check.Litmus(p)
+		cfg := litmusConfig(tech, len(w.Programs), int64(p.Seed))
+		cfg.NoFastForward = noFF
+		s := sim.New(cfg, w)
+		r, err := s.RunErr(w)
+		finals := make(map[uint64]uint64, len(expected))
+		for a := range expected {
+			finals[a] = s.ReadWordCoherent(a)
+		}
+		return outcome{err: err, cycles: r.Cycles, finals: finals, counter: r.Counters}
+	}
+	naive, ff := run(true), run(false)
+	if (naive.err == nil) != (ff.err == nil) {
+		return fmt.Errorf("%s under %s: error outcome diverges: naive %v, ff %v",
+			p, tech, naive.err, ff.err)
+	}
+	if naive.cycles != ff.cycles {
+		return fmt.Errorf("%s under %s: cycles diverge: naive %d, ff %d",
+			p, tech, naive.cycles, ff.cycles)
+	}
+	for a, v := range naive.finals {
+		if fv := ff.finals[a]; fv != v {
+			return fmt.Errorf("%s under %s: final @%#x diverges: naive %#x, ff %#x",
+				p, tech, a, v, fv)
+		}
+	}
+	for k, v := range naive.counter {
+		if fv := ff.counter[k]; fv != v {
+			return fmt.Errorf("%s under %s: counter %s diverges: naive %d, ff %d",
+				p, tech, k, v, fv)
+		}
+	}
+	return nil
+}
+
+// TestLitmusFastForwardDifferential fuzzes randomized multi-CPU
+// programs through both kernel paths with the full checker stack on.
+// The litmus machine's tiny caches and structural limits force MSHR
+// exhaustion and store-buffer pressure — exactly the states whose spin
+// counters the fast-forward path replays in batch.
+func TestLitmusFastForwardDifferential(t *testing.T) {
+	corpus := []check.LitmusParams{
+		{Seed: 0x0000000000000001, CPUs: 2, Ops: 8},
+		{Seed: 0xdeadbeefcafef00d, CPUs: 2, Ops: 48},
+		{Seed: 0x0123456789abcdef, CPUs: 3, Ops: 12},
+		{Seed: 0x4242424242424242, CPUs: 4, Ops: 24},
+		{Seed: 0x9e3779b97f4a7c15, CPUs: 4, Ops: 32},
+		{Seed: 0x94d049bb133111eb, CPUs: 4, Ops: 48},
+	}
+	if testing.Short() {
+		corpus = corpus[:2]
+	}
+	for _, p := range corpus {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			t.Parallel()
+			for _, tech := range sim.AllCombos() {
+				if err := litmusBothPaths(p, tech); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}

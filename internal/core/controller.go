@@ -166,6 +166,15 @@ type Controller struct {
 	// wbPending in case the same line is evicted twice in flight.
 	wbBuf     map[uint64]mem.Line
 	wbPending map[uint64]int
+
+	// stateVer counts the controller-state transitions that can change
+	// the attached core's quiescence classification without a Client
+	// callback: store-buffer pops, and this node's own bus grants and
+	// completions (MSHR frees, fills, validate state moves). Remote
+	// transactions already reach the core via ExternalSnoop. The core
+	// snapshots the version when it caches a fast-forward horizon and
+	// drops the cache on mismatch.
+	stateVer uint64
 }
 
 // NewController builds a controller, attaches it to the bus, and
@@ -378,6 +387,42 @@ func (c *Controller) Load(seq uint64, addr uint64, isLL bool) LoadResult {
 	return LoadResult{Status: LoadMiss}
 }
 
+// PeekLoad classifies what Load would do for the word at addr right
+// now, with no side effects. It mirrors Load's decision tree exactly:
+// a buffered SC to the same word forces a silent retry, any other
+// buffered store forwards, then L1/L2 readable hits, an MSHR waiter
+// merge, and finally allocation — which either issues a request or,
+// with the MSHR file exhausted, retries after bumping the miss and
+// mshr_full counters. Any divergence from Load here breaks the
+// fast-forward path's bit-identity.
+func (c *Controller) PeekLoad(addr uint64) LoadProbe {
+	addr = mem.AlignWord(addr)
+	la := mem.LineAddr(addr)
+	for i := len(c.storeBuf) - 1; i >= 0; i-- {
+		e := &c.storeBuf[i]
+		if e.addr != addr {
+			continue
+		}
+		if e.isSC {
+			return LoadProbeRetryPure
+		}
+		return LoadProbeActive // would forward
+	}
+	if c.l1.Lookup(la) != nil {
+		return LoadProbeActive // L1 hit
+	}
+	if l2line := c.l2.Lookup(la); l2line != nil && Readable(l2line.State) {
+		return LoadProbeActive // L2 hit
+	}
+	if c.mshrs.Lookup(la) != nil {
+		return LoadProbeActive // would merge as a waiter
+	}
+	if c.mshrs.InUse() >= c.mshrs.Cap() {
+		return LoadProbeRetryCounted
+	}
+	return LoadProbeActive // would allocate and request
+}
+
 // StoreCommit accepts a retired store into the store buffer. A false
 // return means the buffer is full and the core must stall retirement.
 func (c *Controller) StoreCommit(seq, pc, addr, val uint64) bool {
@@ -409,6 +454,11 @@ func (c *Controller) SCExecute(seq, pc, addr, val uint64) bool {
 // StoreBufEmpty reports whether all retired stores have performed.
 func (c *Controller) StoreBufEmpty() bool { return len(c.storeBuf) == 0 }
 
+// StoreBufFull reports whether StoreCommit would refuse a retired
+// store right now (side-effect-free; the core's fast-forward path uses
+// it to classify a commit stall).
+func (c *Controller) StoreBufFull() bool { return len(c.storeBuf) >= c.cfg.StoreBuf }
+
 func (c *Controller) setReservation(lineAddr uint64) {
 	c.resAddr = lineAddr
 	c.resValid = true
@@ -435,6 +485,76 @@ func (c *Controller) Tick(now uint64) {
 		c.hOccSB.Observe(uint64(len(c.storeBuf)))
 	}
 	c.tickStore()
+}
+
+// NextEvent returns the earliest future cycle at which Tick could
+// change observable state, now when the next tick acts immediately,
+// or ^uint64(0) when the controller is idle until an external event
+// (bus grant/completion) arrives. It mirrors tickStore exactly: the
+// head store is active if tryPerformHead would consume it (SC
+// reservation loss, update-silent squash, writable line), if a
+// first-touch reuse observation or VS->S transition is pending, or if
+// a permission request would be issued; it is a pure stall while a
+// transaction is outstanding or the MSHR file blocks the request.
+// Timed wakeups all originate at the bus, so the only returns are
+// "now" and "never" — underestimating (waking early) costs a few
+// wasted ticks, overestimating would corrupt determinism.
+func (c *Controller) NextEvent(now uint64) uint64 {
+	const never = ^uint64(0)
+	if len(c.storeBuf) == 0 {
+		return never
+	}
+	e := &c.storeBuf[0]
+	la := mem.LineAddr(e.addr)
+	// tryPerformHead runs even for waiting heads, so its conditions
+	// come before the e.waiting early-out.
+	if e.isSC && !c.HasReservation(la) {
+		return now
+	}
+	l := c.l2.Lookup(la)
+	if l != nil {
+		if c.cfg.SquashUpdateSilent && Readable(l.State) &&
+			l.Data.Word(mem.WordIndex(e.addr)) == e.val {
+			return now
+		}
+		if Writable(l.State) {
+			return now
+		}
+	}
+	if e.waiting {
+		return never
+	}
+	if len(c.validatedAt) > 0 {
+		if _, ok := c.validatedAt[la]; ok {
+			return now // noteReuse observes the histogram
+		}
+	}
+	if l != nil && l.State == StateVS {
+		return now // VS -> S transition plus counter
+	}
+	if c.mshrs.Lookup(la) != nil || c.mshrs.InUse() >= c.mshrs.Cap() {
+		return never // blocked until an MSHR frees or the miss lands
+	}
+	return now // a permission request would be issued this tick
+}
+
+// SkipCycles replays the side effects of ticking every cycle in
+// [from, to) while the controller is quiescent: the occupancy
+// histograms sample the (constant) occupancy at the same cycles the
+// naive loop would, and the clock lands on to-1 — the value Tick(to-1)
+// would have left, which bus-phase callbacks (SnoopTxn timestamping
+// validatedAt) read before the controller's next Tick.
+func (c *Controller) SkipCycles(from, to uint64) {
+	k := to - from
+	if c.occCountdown <= k {
+		m := 1 + (k-c.occCountdown)/c.occEvery
+		c.hOccMSHR.ObserveN(uint64(c.mshrs.InUse()), m)
+		c.hOccSB.ObserveN(uint64(len(c.storeBuf)), m)
+		c.occCountdown = c.occCountdown + m*c.occEvery - k
+	} else {
+		c.occCountdown -= k
+	}
+	c.now = to - 1
 }
 
 func (c *Controller) tickStore() {
@@ -553,9 +673,16 @@ func (c *Controller) tryPerformHead() bool {
 }
 
 func (c *Controller) popStore() {
+	c.stateVer++
 	n := copy(c.storeBuf, c.storeBuf[1:])
 	c.storeBuf = c.storeBuf[:n]
 }
+
+// StateVersion implements the cpu.MemSystem invalidation hook: it
+// changes whenever controller state that feeds the core's quiescence
+// classification (StoreBufFull, PeekLoad) may have changed without a
+// Client callback.
+func (c *Controller) StateVersion() uint64 { return c.stateVer }
 
 // performStore writes one word into a line held in M or E and runs the
 // MESTI temporal-silence machinery.

@@ -19,6 +19,7 @@ import (
 // GrantTxn validates and applies the requester-side transition at the
 // serialization point.
 func (c *Controller) GrantTxn(t *bus.Txn) bool {
+	c.stateVer++
 	la := t.Addr
 	switch t.Type {
 	case bus.TxnValidate:
@@ -243,6 +244,7 @@ func (c *Controller) enterT(l *cache.Line) {
 // CompleteTxn receives the requester-side completion: data arrival for
 // Read/ReadX, or the end of the address phase for dataless types.
 func (c *Controller) CompleteTxn(t *bus.Txn) {
+	c.stateVer++
 	la := t.Addr
 	switch t.Type {
 	case bus.TxnWriteback:

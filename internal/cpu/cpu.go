@@ -30,6 +30,25 @@ type MemSystem interface {
 	HoldsWritable(addr uint64) bool
 	SLECommitStores(stores []core.SpecStore) bool
 	StoreBufEmpty() bool
+
+	// StoreBufFull reports whether StoreCommit would refuse a retired
+	// store right now. It must be side-effect-free: the fast-forward
+	// path uses it to classify a commit stall without performing the
+	// failing StoreCommit call.
+	StoreBufFull() bool
+
+	// PeekLoad classifies, without side effects, what Load would do
+	// for the word at addr right now (see core.LoadProbe). The
+	// fast-forward path uses it to decide whether a ready load that
+	// cannot issue pins the machine to the current cycle.
+	PeekLoad(addr uint64) core.LoadProbe
+
+	// StateVersion changes whenever memory-system state feeding
+	// StoreBufFull or PeekLoad may have changed without a core.Client
+	// callback (store-buffer drains, this node's bus grants and
+	// completions). The core snapshots it when caching a quiescence
+	// horizon and revalidates before trusting the cache.
+	StateVersion() uint64
 }
 
 // Config sizes the core. Zero values take the paper-flavored defaults
@@ -201,6 +220,15 @@ type cpuCounters struct {
 	lsqFull       stats.Counter
 	lvpSquash     stats.Counter
 	loadReplay    stats.Counter
+
+	// storeBufFull, l1Miss, l2Miss and mshrFull are the controller's
+	// handles (the counters object is shared machine-wide): SkipCycles
+	// replays the bumps the refused StoreCommit and counted load
+	// retries of each skipped stall cycle would have made.
+	storeBufFull stats.Counter
+	l1Miss       stats.Counter
+	l2Miss       stats.Counter
+	mshrFull     stats.Counter
 }
 
 func resolveCPUCounters(cs *stats.Counters) cpuCounters {
@@ -216,6 +244,10 @@ func resolveCPUCounters(cs *stats.Counters) cpuCounters {
 		lsqFull:       cs.Counter("cpu/lsq_full"),
 		lvpSquash:     cs.Counter("cpu/lvp_squash"),
 		loadReplay:    cs.Counter("cpu/load_replay"),
+		storeBufFull:  cs.Counter("store/buffer_full"),
+		l1Miss:        cs.Counter("l1/miss"),
+		l2Miss:        cs.Counter("l2/miss"),
+		mshrFull:      cs.Counter("l2/mshr_full"),
 	}
 }
 
@@ -289,6 +321,20 @@ type Core struct {
 
 	// OnCommitDebug additionally exposes captured operands and result.
 	OnCommitDebug func(seq uint64, pc int, ins isa.Instr, src0, src1, result uint64)
+
+	// Cached fast-forward horizon. A quiescent core's quiesce result
+	// is invariant until something it read changes: every mutating
+	// core entry point (LoadDone, LoadsVerified, SquashSpec, SCDone,
+	// ExternalSnoop) drops the cache, and memory-system changes are
+	// caught by revalidating memsys.StateVersion against the snapshot
+	// taken at cache time. While the cache holds, a Tick is by
+	// contract a pure spin and replays the cached spin set in O(1);
+	// SkipCycles only advances counters and the clock, so it keeps
+	// the cache alive across a skip.
+	horizonValid  bool
+	horizonNext   uint64
+	horizonSpin   coreSpin
+	horizonMemVer uint64
 }
 
 // New builds a core running prog against the given memory system. id
@@ -372,8 +418,20 @@ func (c *Core) ElidedLockValue() (addr, val uint64, ok bool) {
 // (bySeq, regProd, drainISync, the SLE engine's region view).
 func (c *Core) freeEntry(e *entry) { c.entryPool = append(c.entryPool, e) }
 
-// Tick advances the core one cycle.
+// Tick advances the core one cycle. When a cached quiescence horizon
+// is still valid and strictly in the future, this tick is by the
+// NextEvent contract a pure spin — nothing in the pipeline can move —
+// so the full commit/issue/dispatch scan is replaced by an O(1)
+// replay of the cached spin-counter set (the same bumps the scan
+// would have made).
 func (c *Core) Tick(now uint64) {
+	if c.horizonValid && c.horizonNext > now &&
+		c.memsys.StateVersion() == c.horizonMemVer {
+		c.now = now
+		c.replaySpin(c.horizonSpin, 1)
+		return
+	}
+	c.horizonValid = false
 	c.now = now
 	if c.halted {
 		return
@@ -383,6 +441,182 @@ func (c *Core) Tick(now uint64) {
 	c.issue()
 	c.dispatch()
 	c.fetch()
+}
+
+// Spin flags classify the constant per-cycle counter effects a
+// quiescent core still produces each tick: a stalled machine is not
+// silent — a blocked dispatch bumps ruu_full/lsq_full and a refused
+// StoreCommit bumps store/buffer_full every single cycle. SkipCycles
+// replays them batched so skipped and ticked runs stay bit-identical.
+const (
+	spinRUUFull = 1 << iota
+	spinLSQFull
+	spinStoreBufFull
+)
+
+// coreSpin is the constant per-cycle effect set of a quiescent core:
+// the stall-counter flags above plus the number of ready loads whose
+// retry reaches the exhausted MSHR file each cycle (each such retry
+// bumps l1/miss, l2/miss, and l2/mshr_full).
+type coreSpin struct {
+	flags       uint8
+	loadRetries uint64
+}
+
+// quiesce computes the core's fast-forward horizon at cycle now: the
+// earliest future cycle Tick could change state beyond the constant
+// spin-counter effects reported in spin. next == now means the next
+// tick acts immediately (nothing to skip, spin meaningless); a future
+// next is the minimum over execution doneAt and fetch-queue readyAt
+// times; ^uint64(0) means idle until an external callback (LoadDone,
+// SCDone, snoop). Underestimating (waking early) merely wastes a
+// tick; overestimating, or misclassifying an effect as constant,
+// would break bit-identity with the naive loop.
+func (c *Core) quiesce(now uint64) (next uint64, spin coreSpin) {
+	const never = ^uint64(0)
+	if c.halted {
+		return never, coreSpin{}
+	}
+	if c.sle != nil && c.sle.speculating() {
+		return now, coreSpin{} // sle.tick runs every cycle while a region is live
+	}
+	next = never
+	if len(c.ruu) > 0 {
+		if h := c.ruu[0]; h.done && !h.specVal {
+			if h.ins.Op == isa.OpSt && c.memsys.StoreBufFull() {
+				// Commit is blocked on the full store buffer; the
+				// refused StoreCommit bumps store/buffer_full each
+				// cycle. The buffer drains only via bus events, which
+				// the bus horizon bounds.
+				spin.flags |= spinStoreBufFull
+			} else {
+				return now, coreSpin{} // head retires
+			}
+		}
+	}
+	for idx, e := range c.ruu {
+		if e.needsAddr && e.srcReady[0] {
+			return now, coreSpin{} // store address resolves this tick
+		}
+		if e.executing {
+			if e.doneAt < next {
+				next = e.doneAt
+			}
+			continue
+		}
+		if e.issued || e.done || e.pendingSrcs != 0 {
+			continue // waiting on a callback or an operand broadcast
+		}
+		switch {
+		case e.isLoad:
+			if !e.addrKnown {
+				return now, coreSpin{} // first issueLoad call resolves the address
+			}
+			stall, fwd := c.olderStoreScan(e)
+			if stall {
+				continue // pure disambiguation stall
+			}
+			if fwd != nil {
+				return now, coreSpin{} // forwards from an older store
+			}
+			switch c.memsys.PeekLoad(e.effAddr) {
+			case core.LoadProbeActive:
+				return now, coreSpin{} // hit, merge, or new request
+			case core.LoadProbeRetryCounted:
+				spin.loadRetries++ // miss counters bump every cycle
+			}
+			// LoadProbeRetryPure: silent retry, nothing to replay.
+		case e.ins.Op == isa.OpSC:
+			if idx == 0 && !e.scSent {
+				return now, coreSpin{}
+			}
+		default:
+			return now, coreSpin{} // ALU/store/branch/nop executes immediately
+		}
+	}
+	if len(c.fetchQ) > 0 {
+		if h := c.fetchQ[0].readyAt; h > now {
+			if h < next {
+				next = h
+			}
+		} else if len(c.ruu) >= c.cfg.RUUSize {
+			spin.flags |= spinRUUFull // ruu_full bumps every cycle
+		} else if c.fetchQ[0].ins.IsMem() && c.lsqUsed >= c.cfg.LSQSize {
+			spin.flags |= spinLSQFull // lsq_full bumps every cycle
+		} else if c.drainISync == nil {
+			return now, coreSpin{} // head dispatches
+		}
+		// drainISync-blocked dispatch is a pure stall: the drain ends
+		// when the serializing entry retires, which the head-retire and
+		// doneAt terms above already cover.
+	}
+	if !c.fetchStop && len(c.fetchQ)+len(c.ruu) < c.cfg.RUUSize {
+		return now, coreSpin{} // fetch fills the queue
+	}
+	return next, spin
+}
+
+// NextEvent returns the earliest future cycle at which Tick could
+// change state beyond constant per-cycle counter spins, or ^uint64(0)
+// when the core waits on an external callback. now means the next
+// tick acts immediately.
+func (c *Core) NextEvent(now uint64) uint64 {
+	if c.horizonValid {
+		if c.memsys.StateVersion() == c.horizonMemVer {
+			return c.horizonNext
+		}
+		c.horizonValid = false
+	}
+	next, spin := c.quiesce(now)
+	if next > now {
+		// Only a strictly-future horizon is cacheable: it cannot
+		// arrive without this core noticing — ticks while it holds
+		// are pure spins, and every state change that could break
+		// quiescence either enters through a Client callback (which
+		// invalidates) or bumps the memory system's StateVersion.
+		c.horizonValid = true
+		c.horizonNext = next
+		c.horizonSpin = spin
+		c.horizonMemVer = c.memsys.StateVersion()
+	}
+	return next
+}
+
+// SkipCycles replays the side effects of ticking every cycle in
+// [from, to) while the core is quiescent: the spin counters of the
+// stalled state advance by the skipped cycle count, and the clock
+// lands on to-1 — the value Tick(to-1) would have left, which
+// controller callbacks firing during the next cycle's bus phase
+// (LoadDone, SCDone) read before the core's next Tick.
+func (c *Core) SkipCycles(from, to uint64) {
+	spin := c.horizonSpin
+	if !c.horizonValid || c.memsys.StateVersion() != c.horizonMemVer {
+		_, spin = c.quiesce(from)
+	}
+	c.replaySpin(spin, to-from)
+	c.now = to - 1
+}
+
+// replaySpin applies k cycles' worth of the constant counter effects a
+// quiescent core produces each tick (the bumps commit/dispatch/issue
+// would have made).
+func (c *Core) replaySpin(spin coreSpin, k uint64) {
+	if spin.flags&spinStoreBufFull != 0 {
+		c.cnt.storeBufFull.Add(k)
+	}
+	if spin.flags&spinRUUFull != 0 {
+		c.cnt.ruuFull.Add(k)
+	}
+	if spin.flags&spinLSQFull != 0 {
+		c.cnt.lsqFull.Add(k)
+	}
+	if n := spin.loadRetries; n > 0 {
+		// Each retrying load misses L1 and L2 and finds the MSHR file
+		// exhausted every cycle (Controller.Load's counted-retry path).
+		c.cnt.l1Miss.Add(k * n)
+		c.cnt.l2Miss.Add(k * n)
+		c.cnt.mshrFull.Add(k * n)
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -696,21 +930,16 @@ func (c *Core) issueSC(e *entry) {
 	}
 }
 
-// issueLoad tries to issue one load; returns true if it consumed a
-// port. Conservative LSQ disambiguation: the load waits for all older
-// store addresses, forwards from an exact match, and otherwise goes to
-// memory.
-func (c *Core) issueLoad(e *entry) bool {
-	e.effAddr = isa.EffAddr(e.ins, e.src[0])
-	e.addrKnown = true
-	// Find the youngest older store to the same word; any unresolved
-	// older store address stalls the load (conservative
-	// disambiguation).
-	// Failed SCs are transparent (they wrote nothing); unresolved SCs
-	// stall the load — forwarding past one would bet on its outcome.
-	var fwd *entry
+// olderStoreScan performs conservative LSQ disambiguation for a load
+// whose address is known: it reports whether the load must stall (an
+// unresolved older store address, an unresolved older SC, or a
+// matching store whose data operand is not ready) and otherwise the
+// youngest older store to the same word to forward from (nil: go to
+// memory). Failed SCs are transparent (they wrote nothing).
+// NextEvent shares the scan to classify a stalled load as pure.
+func (c *Core) olderStoreScan(e *entry) (stall bool, fwd *entry) {
 	if c.storesInFlight == 0 {
-		goto toMemory
+		return false, nil
 	}
 	for _, s := range c.ruu {
 		if s.seq >= e.seq {
@@ -720,14 +949,14 @@ func (c *Core) issueLoad(e *entry) bool {
 			continue
 		}
 		if !s.addrKnown {
-			return false // unresolved older store address: stall
+			return true, nil // unresolved older store address: stall
 		}
 		if s.effAddr != e.effAddr {
 			continue
 		}
 		if s.ins.Op == isa.OpSC {
 			if !s.done {
-				return false
+				return true, nil
 			}
 			if s.result == 0 {
 				continue // failed SC: transparent
@@ -735,10 +964,24 @@ func (c *Core) issueLoad(e *entry) bool {
 		}
 		fwd = s // youngest match so far wins
 	}
+	if fwd != nil && !fwd.srcReady[1] {
+		return true, nil // matching store, data not ready
+	}
+	return false, fwd
+}
+
+// issueLoad tries to issue one load; returns true if it consumed a
+// port. Conservative LSQ disambiguation: the load waits for all older
+// store addresses, forwards from an exact match, and otherwise goes to
+// memory.
+func (c *Core) issueLoad(e *entry) bool {
+	e.effAddr = isa.EffAddr(e.ins, e.src[0])
+	e.addrKnown = true
+	stall, fwd := c.olderStoreScan(e)
+	if stall {
+		return false
+	}
 	if fwd != nil {
-		if !fwd.srcReady[1] {
-			return false // matching store, data not ready
-		}
 		e.issued = true
 		e.executing = true
 		c.numExecuting++
@@ -750,7 +993,6 @@ func (c *Core) issueLoad(e *entry) bool {
 		}
 		return true
 	}
-toMemory:
 	r := c.memsys.Load(e.seq, e.effAddr, e.ins.Op == isa.OpLL)
 	switch r.Status {
 	case core.LoadRetry:
@@ -926,6 +1168,7 @@ func (c *Core) fetch() {
 
 // LoadDone implements core.Client.
 func (c *Core) LoadDone(seq uint64, value uint64) {
+	c.horizonValid = false
 	e, ok := c.bySeq[seq]
 	if !ok || !e.memSent || e.done {
 		return // squashed or stale
@@ -940,6 +1183,7 @@ func (c *Core) LoadDone(seq uint64, value uint64) {
 // LoadsVerified implements core.Client: LVP predictions confirmed;
 // the loads may now retire.
 func (c *Core) LoadsVerified(seqs []uint64) {
+	c.horizonValid = false
 	for _, s := range seqs {
 		if e, ok := c.bySeq[s]; ok {
 			e.specVal = false
@@ -953,6 +1197,7 @@ func (c *Core) LoadsVerified(seqs []uint64) {
 // replacements carry no speculative value from the failed line, so a
 // fully dead list is a no-op.
 func (c *Core) SquashSpec(seqs []uint64) {
+	c.horizonValid = false
 	var oldest uint64
 	found := false
 	for _, s := range seqs {
@@ -970,6 +1215,7 @@ func (c *Core) SquashSpec(seqs []uint64) {
 
 // SCDone implements core.Client.
 func (c *Core) SCDone(seq uint64, success bool) {
+	c.horizonValid = false
 	e, ok := c.bySeq[seq]
 	if !ok || !e.scSent {
 		return
@@ -992,6 +1238,7 @@ func (c *Core) SCDone(seq uint64, success bool) {
 // a line read by a not-yet-retired load squashes that load and
 // everything younger, forcing it to re-execute and observe the write.
 func (c *Core) ExternalSnoop(lineAddr uint64, isWrite bool) {
+	c.horizonValid = false
 	if c.sle != nil {
 		c.sle.onSnoop(lineAddr, isWrite)
 	}

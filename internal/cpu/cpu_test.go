@@ -72,6 +72,9 @@ func (f *fakeMem) HasReservation(lineAddr uint64) bool { return f.reservations }
 func (f *fakeMem) PrefetchExclusive(addr uint64)       { f.prefetches = append(f.prefetches, addr) }
 func (f *fakeMem) HoldsWritable(addr uint64) bool      { return f.sleWritable }
 func (f *fakeMem) StoreBufEmpty() bool                 { return true }
+func (f *fakeMem) StoreBufFull() bool                  { return false }
+func (f *fakeMem) PeekLoad(addr uint64) core.LoadProbe { return core.LoadProbeActive }
+func (f *fakeMem) StateVersion() uint64                { return 0 }
 func (f *fakeMem) SLECommitStores(st []core.SpecStore) bool {
 	if !f.sleWritable {
 		return false

@@ -53,6 +53,11 @@ type Params struct {
 	// and per-run sim-cycles/s) after each table. Off by default so
 	// recorded table output stays byte-identical.
 	Timing bool
+	// NoFastForward disables the kernel's next-event fast-forward and
+	// ticks every architectural cycle. Results are bit-identical
+	// either way (CI diffs the two); this is the debugging escape
+	// hatch and the baseline for measuring the skip fraction.
+	NoFastForward bool
 }
 
 func (p Params) withDefaults() Params {
@@ -77,6 +82,7 @@ func (p Params) config(tech sim.Techniques) sim.Config {
 	cfg.CPUs = p.CPUs
 	cfg.Tech = tech
 	cfg.Check = p.Check
+	cfg.NoFastForward = p.NoFastForward
 	return cfg
 }
 

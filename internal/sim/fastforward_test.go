@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"tssim/internal/workload"
+)
+
+// renderedReport runs one workload/technique configuration and returns
+// the rendered report bytes (every counter, histogram, cycle count and
+// config field) plus the raw result. Fast-forward is controlled by
+// noFF; everything else is identical.
+func renderedReport(t *testing.T, name string, tech Techniques, noFF bool) ([]byte, Result) {
+	t.Helper()
+	cfg := ExperimentConfig()
+	cfg.Tech = tech
+	cfg.NoFastForward = noFF
+	w, err := workload.ByName(name, workload.Params{CPUs: cfg.CPUs, Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(cfg, w)
+	r, rerr := s.RunErr(w)
+	if rerr != nil {
+		t.Fatalf("%s under %s (noFF=%v): %v", name, tech, noFF, rerr)
+	}
+	var buf bytes.Buffer
+	if err := NewReport(cfg, r).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), r
+}
+
+// TestFastForwardBitIdentical is the tentpole differential: for every
+// technique combo of Figure 7, a fast-forwarded run must render a
+// byte-identical report to the naive every-cycle loop — same cycles,
+// same counters (including the spin counters replayed across skipped
+// stall cycles), same downsampled occupancy histograms. tpc-b is the
+// compute-bound extreme (few skips, exercises the no-op boundary);
+// specjbb is the idle-heavy extreme (~70% of cycles skipped).
+func TestFastForwardBitIdentical(t *testing.T) {
+	workloads := []string{"tpc-b", "specjbb"}
+	if testing.Short() {
+		workloads = workloads[:1]
+	}
+	for _, name := range workloads {
+		for _, tech := range AllCombos() {
+			name, tech := name, tech
+			t.Run(name+"/"+tech.String(), func(t *testing.T) {
+				t.Parallel()
+				naive, _ := renderedReport(t, name, tech, true)
+				ff, r := renderedReport(t, name, tech, false)
+				if !bytes.Equal(naive, ff) {
+					t.Fatalf("%s under %s: fast-forward report diverges from naive loop\nnaive:\n%s\nfast-forward:\n%s",
+						name, tech, naive, ff)
+				}
+				if r.SkippedCycles == 0 {
+					t.Errorf("%s under %s: fast-forward skipped no cycles — the path under test never ran",
+						name, tech)
+				}
+			})
+		}
+	}
+}
+
+// TestFastForwardMaxCyclesIdentical truncates both runs at the same
+// MaxCycles (forcing a skip to land exactly on the bound) and
+// requires identical partial results.
+func TestFastForwardMaxCyclesIdentical(t *testing.T) {
+	w, err := workload.ByName("specjbb", workload.Params{CPUs: 4, Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(noFF bool) Result {
+		cfg := ExperimentConfig()
+		cfg.MaxCycles = 30_000
+		cfg.NoFastForward = noFF
+		s := New(cfg, w)
+		r, _ := s.RunErr(w) // truncation is not an error; compare partials
+		return r
+	}
+	naive, ff := run(true), run(false)
+	if naive.Cycles != ff.Cycles || naive.Retired != ff.Retired {
+		t.Fatalf("truncated runs diverge: naive cycles=%d retired=%d, ff cycles=%d retired=%d",
+			naive.Cycles, naive.Retired, ff.Cycles, ff.Retired)
+	}
+	for k, v := range naive.Counters {
+		if ff.Counters[k] != v {
+			t.Errorf("counter %s: naive %d, ff %d", k, v, ff.Counters[k])
+		}
+	}
+}
+
+// TestFastForwardWatchdogIdentical uses the cold-miss stall (watchdog
+// tightened below one miss-service time, so the trip happens while
+// every component is quiescent and the kernel wants to skip past it)
+// and requires the watchdog to fire at the same architectural cycle
+// with the same reason under both paths: the skip target is capped at
+// lastProgress+watchdog+1 precisely so this holds.
+func TestFastForwardWatchdogIdentical(t *testing.T) {
+	run := func(noFF bool) (uint64, string) {
+		w, cfg := stallWorkload(2)
+		cfg.CPUs = 2
+		cfg.NoFastForward = noFF
+		s := New(cfg, w)
+		r, err := s.RunErr(w)
+		var re *RunError
+		if !errors.As(err, &re) {
+			t.Fatalf("expected watchdog RunError, got %v", err)
+		}
+		return r.Cycles, re.Reason
+	}
+	nCycles, nReason := run(true)
+	fCycles, fReason := run(false)
+	if nCycles != fCycles || nReason != fReason {
+		t.Fatalf("watchdog diverges:\nnaive: cycle %d, %q\nff:    cycle %d, %q",
+			nCycles, nReason, fCycles, fReason)
+	}
+}

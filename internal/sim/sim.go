@@ -130,6 +130,13 @@ type Config struct {
 	// stride in bus grants (0 = check.DefaultSweepEvery).
 	CheckSweepEvery int
 
+	// NoFastForward disables the next-event fast-forward path and
+	// ticks every cycle naively. The two paths are bit-identical in
+	// every simulated observable (cycles, counters, histograms, trace
+	// timestamps, check verdicts); this escape hatch exists for
+	// differential testing and as a diagnostic fallback.
+	NoFastForward bool
+
 	// StaleDetector overrides the temporal-silence detector factory
 	// (per node); nil selects the perfect detector. Used by the
 	// Figure 6 experiment to plug in finite L1-Mirror/stale-storage
@@ -205,10 +212,31 @@ type Result struct {
 	// determinism comparisons. The experiments timing footer (-timing)
 	// and the telemetry layer read it.
 	Wall time.Duration
+
+	// SkippedCycles counts the simulated cycles the next-event
+	// fast-forward path jumped over instead of ticking (0 under
+	// NoFastForward). Like Wall it is a harness measurement: the
+	// simulated machine behaves identically either way, so it is
+	// excluded from reports, tables, and determinism comparisons.
+	SkippedCycles uint64
+}
+
+// FastForwardSkipFraction returns the fraction of simulated cycles the
+// fast-forward path skipped (0 when fast-forward is off or the run is
+// empty).
+func (r Result) FastForwardSkipFraction() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.SkippedCycles) / float64(r.Cycles)
 }
 
 // SimCyclesPerSec returns simulated cycles per host wall-clock second
-// — the run-level throughput figure the timing footer reports.
+// — the run-level throughput figure the timing footer reports. The
+// numerator is *architectural* cycles (Result.Cycles), counting cycles
+// the fast-forward path skipped as simulated: throughput numbers stay
+// comparable across hosts and BENCH generations regardless of how many
+// cycles were actually ticked.
 func (r Result) SimCyclesPerSec() float64 {
 	if r.Wall <= 0 {
 		return 0
@@ -242,6 +270,10 @@ type System struct {
 	// every cycle.
 	retired     uint64
 	haltedCores int
+
+	// skipped counts cycles the fast-forward path jumped over
+	// (Result.SkippedCycles).
+	skipped uint64
 
 	// check is the attached coherence oracle (nil unless Config.Check).
 	check *check.Checker
@@ -319,7 +351,9 @@ func (s *System) Checker() *check.Checker { return s.check }
 
 // Step advances the whole machine one cycle.
 func (s *System) Step() {
-	s.cfg.Trace.Advance(s.now)
+	if s.cfg.Trace != nil {
+		s.cfg.Trace.Advance(s.now)
+	}
 	s.Bus.Tick(s.now)
 	for _, n := range s.Nodes {
 		n.Tick(s.now)
@@ -328,6 +362,62 @@ func (s *System) Step() {
 		c.Tick(s.now)
 	}
 	s.now++
+}
+
+// nextEvent returns the earliest cycle any component can change
+// observable state. A return of s.now (or less) means some component
+// acts on the very next Step, so there is nothing to skip; the scan
+// bails out on the first such component. ^uint64(0) means every
+// component is idle until an external bound (watchdog, MaxCycles).
+func (s *System) nextEvent() uint64 {
+	now := s.now
+	next := ^uint64(0)
+	for _, c := range s.Cores {
+		ne := c.NextEvent(now)
+		if ne <= now {
+			return now
+		}
+		if ne < next {
+			next = ne
+		}
+	}
+	for _, n := range s.Nodes {
+		ne := n.NextEvent(now)
+		if ne <= now {
+			return now
+		}
+		if ne < next {
+			next = ne
+		}
+	}
+	if ne := s.Bus.NextEvent(now); ne <= now {
+		return now
+	} else if ne < next {
+		next = ne
+	}
+	if s.check != nil {
+		if ne := s.check.NextEvent(now); ne < next {
+			next = ne
+		}
+	}
+	return next
+}
+
+// skipTo replays the per-cycle side effects of ticking every cycle in
+// [s.now, target) — occupancy-histogram sampling in the controllers
+// and each component's clock, which bus-phase callbacks read — then
+// jumps the machine clock to target. Callers must have established
+// via nextEvent that no component changes observable state before
+// target.
+func (s *System) skipTo(target uint64) {
+	for _, c := range s.Cores {
+		c.SkipCycles(s.now, target)
+	}
+	for _, n := range s.Nodes {
+		n.SkipCycles(s.now, target)
+	}
+	s.skipped += target - s.now
+	s.now = target
 }
 
 // Run executes until every CPU halts (and the interconnect drains) or
@@ -401,6 +491,25 @@ func (s *System) runErr(w Workload, ph *telemetry.JobPhases) (Result, error) {
 		if s.haltedCores == nCores && s.Bus.Idle() && s.storeBuffersEmpty() {
 			break
 		}
+		if !s.cfg.NoFastForward {
+			if nxt := s.nextEvent(); nxt > s.now {
+				// All components are quiescent until nxt. Skip to it,
+				// capped so the watchdog trips at the exact cycle the
+				// naive loop would (first trip at lastProgress +
+				// watchdog + 1) and the MaxCycles bound is respected.
+				target := nxt
+				if limit := lastProgress + watchdog + 1; limit < target {
+					target = limit
+				}
+				if s.cfg.MaxCycles < target {
+					target = s.cfg.MaxCycles
+				}
+				if target > s.now {
+					s.skipTo(target)
+					continue
+				}
+			}
+		}
 		s.Step()
 	}
 	if runErr == nil && s.check != nil {
@@ -413,12 +522,13 @@ func (s *System) runErr(w Workload, ph *telemetry.JobPhases) (Result, error) {
 		ph.Simulate = mergeStart.Sub(start).Nanoseconds()
 	}
 	res := Result{
-		Workload: w.Name,
-		Tech:     s.cfg.Tech,
-		Cycles:   s.now,
-		Counters: s.Counters.Snapshot(),
-		Hists:    s.Counters.HistSnapshots(),
-		Stats:    s.Counters,
+		Workload:      w.Name,
+		Tech:          s.cfg.Tech,
+		Cycles:        s.now,
+		Counters:      s.Counters.Snapshot(),
+		Hists:         s.Counters.HistSnapshots(),
+		Stats:         s.Counters,
+		SkippedCycles: s.skipped,
 	}
 	res.Finished = runErr == nil
 	for _, c := range s.Cores {

@@ -39,6 +39,24 @@ func (h *Hist) Observe(v uint64) {
 	h.counts[bits.Len64(v)]++
 }
 
+// ObserveN records the same value n times, equivalent to n calls to
+// Observe but O(1). The fast-forward path uses it to batch-sample the
+// constant occupancy of skipped cycles.
+func (h *Hist) ObserveN(v, n uint64) {
+	if n == 0 {
+		return
+	}
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.n += n
+	h.sum += v * n
+	h.counts[bits.Len64(v)] += n
+}
+
 // N returns the number of observations.
 func (h *Hist) N() uint64 { return h.n }
 

@@ -56,7 +56,12 @@ type Diagnosis struct {
 	// MergeShare is stats merge/validation over total busy time.
 	MergeShare float64 `json:"merge_share"`
 	// SimCyclesPerSec is aggregate simulated cycles per wall second —
-	// the sweep-level throughput figure of merit.
+	// the sweep-level throughput figure of merit. The numerator is
+	// *architectural* cycles (sim.Result.Cycles), which counts cycles
+	// the next-event fast-forward skipped as simulated: the figure
+	// stays comparable across runs regardless of how many cycles were
+	// actually ticked, and fast-forward improvements show up here as a
+	// genuine throughput gain.
 	SimCyclesPerSec float64 `json:"sim_cycles_per_sec"`
 }
 

@@ -3,7 +3,12 @@
 # writes a versioned BENCH_<n>.json record (schema tssim-bench/v1) with
 # the headline per-simulated-cycle metrics:
 #
-#   ns_per_sim_cycle      wall time per simulated cycle
+#   ns_per_sim_cycle      wall time per simulated (architectural) cycle,
+#                         idle-heavy workload, fast-forward on (default path)
+#   ns_per_sim_cycle_noff same machine, naive every-cycle loop: the ratio
+#                         is the next-event fast-forward speedup
+#   fastforward_skip_fraction  skipped / total sim cycles (deterministic;
+#                         a collapse means quiescence detection broke)
 #   allocs_per_sim_cycle  steady-state heap allocations per cycle (must stay 0)
 #   bytes_per_sim_cycle   steady-state heap bytes per cycle
 #   parallel_speedup      Fig-7 matrix wall-clock, serial over parallel
@@ -65,7 +70,7 @@ fi
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
-go test -run '^$' -bench '^BenchmarkSimulatorThroughput$' \
+go test -run '^$' -bench '^BenchmarkSimulatorThroughput(NoFF)?$' \
     -benchtime "$BENCHTIME" -count 5 . | tee "$raw"
 if [ "$SHORT" = 0 ]; then
     go test -run '^$' -bench '^BenchmarkFig7_Parallel$' \
