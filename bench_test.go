@@ -206,6 +206,12 @@ func measureSteadyStateAllocs(cfg sim.Config, w sim.Workload, warmup, window uin
 		s.Step()
 	}
 	var m0, m1 runtime.MemStats
+	// Quiesce the collector before opening the window: with a zero-alloc
+	// window no GC can trigger inside it, so any background-GC bookkeeping
+	// allocations from prior benchmark iterations don't leak into the
+	// delta. The sim is deterministic, so this only removes runtime
+	// noise, never simulator allocations.
+	runtime.GC()
 	runtime.ReadMemStats(&m0)
 	for i := uint64(0); i < window; i++ {
 		s.Step()
@@ -253,6 +259,30 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	allocs, bytes := measureSteadyStateAllocs(sim.ExperimentConfig(), aw, 20_000, 40_000)
 	b.ReportMetric(allocs, "allocs/sim-cycle")
 	b.ReportMetric(bytes, "B/sim-cycle")
+}
+
+// BenchmarkSimulatorThroughputTPCB is the compute-bound twin of
+// BenchmarkSimulatorThroughput: tpc-b keeps every core busy nearly
+// every cycle (skip fraction ~0.01), so this number isolates the
+// active-path kernel cost that fast-forward cannot hide. benchjson
+// records it as ns_per_sim_cycle_tpcb next to the idle-heavy headline
+// metric; regressions here mean the per-cycle work got more expensive,
+// not that quiescence detection changed.
+func BenchmarkSimulatorThroughputTPCB(b *testing.B) {
+	w, err := workload.ByName("tpc-b", workload.Params{CPUs: 4, Scale: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cycles, retired, skipped uint64
+	for i := 0; i < b.N; i++ {
+		cfg := sim.ExperimentConfig()
+		r := sim.RunOne(cfg, w)
+		cycles, retired, skipped = r.Cycles, r.Retired, r.SkippedCycles
+	}
+	b.ReportMetric(float64(cycles), "sim-cycles")
+	b.ReportMetric(float64(retired), "sim-instrs")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(cycles), "ns/sim-cycle")
+	b.ReportMetric(float64(skipped)/float64(cycles), "ff-skip-fraction")
 }
 
 // BenchmarkSimulatorThroughputNoFF is the same machine and workload

@@ -39,6 +39,13 @@ type Record struct {
 	GOARCH  string `json:"goarch"`
 	CPUName string `json:"cpu,omitempty"`
 
+	// GoMaxProcs is runtime.GOMAXPROCS on the host that produced the
+	// record. It makes the single-core-host diagnosis behind a weak
+	// parallel_speedup readable from the bench file itself: a speedup
+	// near 1.0 with gomaxprocs 1 is expected pool bookkeeping, not a
+	// harness regression.
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
+
 	NsPerSimCycle     float64 `json:"ns_per_sim_cycle"`
 	AllocsPerSimCycle float64 `json:"allocs_per_sim_cycle"`
 	BytesPerSimCycle  float64 `json:"bytes_per_sim_cycle"`
@@ -53,6 +60,16 @@ type Record struct {
 	// speedup.
 	FastForwardSkipFraction float64 `json:"fastforward_skip_fraction,omitempty"`
 	NsPerSimCycleNoFF       float64 `json:"ns_per_sim_cycle_noff,omitempty"`
+
+	// NsPerSimCycleTPCB is the compute-bound twin of NsPerSimCycle:
+	// tpc-b's skip fraction is ~0.01, so this number tracks the active
+	// cycle path (scheduler, LSQ disambiguation, cache lookups) that
+	// fast-forward cannot help, where the headline specjbb metric is
+	// dominated by the skip path. TPCBSkipFraction travels with it so
+	// "the active path got slower" and "tpc-b started skipping" stay
+	// distinguishable.
+	NsPerSimCycleTPCB float64 `json:"ns_per_sim_cycle_tpcb,omitempty"`
+	TPCBSkipFraction  float64 `json:"tpcb_skip_fraction,omitempty"`
 
 	// Runner-diagnosis ratios from the telemetry collector attached to
 	// BenchmarkFig7_Parallel. They explain the speedup number: a low
@@ -74,11 +91,12 @@ type Record struct {
 // so repetition can never hide a leak from the exact zero-alloc guard.
 func parseBench(lines []string) (Record, error) {
 	rec := Record{
-		Schema: "tssim-bench/v1",
-		Date:   time.Now().UTC().Format(time.RFC3339),
-		Go:     runtime.Version(),
-		GOOS:   runtime.GOOS,
-		GOARCH: runtime.GOARCH,
+		Schema:     "tssim-bench/v1",
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 	sawThroughput := false
 	for _, line := range lines {
@@ -122,6 +140,11 @@ func parseBench(lines []string) (Record, error) {
 			if ns := metrics["ns/sim-cycle"]; rec.NsPerSimCycleNoFF == 0 || ns < rec.NsPerSimCycleNoFF {
 				rec.NsPerSimCycleNoFF = ns
 			}
+		case "BenchmarkSimulatorThroughputTPCB":
+			if ns := metrics["ns/sim-cycle"]; rec.NsPerSimCycleTPCB == 0 || ns < rec.NsPerSimCycleTPCB {
+				rec.NsPerSimCycleTPCB = ns
+			}
+			rec.TPCBSkipFraction = metrics["ff-skip-fraction"]
 		case "BenchmarkFig7_Parallel":
 			// The diagnosis ratios travel with the speedup they explain:
 			// when a repeat becomes the new best run, take its whole row.
@@ -163,6 +186,14 @@ func compare(base, cand Record, threshold float64) []string {
 	if base.NsPerSimCycle > 0 && cand.NsPerSimCycle > base.NsPerSimCycle*(1+threshold) {
 		bad = append(bad, fmt.Sprintf("ns/sim-cycle %.0f -> %.0f (limit %.0f)",
 			base.NsPerSimCycle, cand.NsPerSimCycle, base.NsPerSimCycle*(1+threshold)))
+	}
+	// The compute-bound twin: guarded like the headline wall metric,
+	// but only when both records carry it (older baselines predate the
+	// tpc-b bench, and -short candidate runs may skip it).
+	if base.NsPerSimCycleTPCB > 0 && cand.NsPerSimCycleTPCB > 0 &&
+		cand.NsPerSimCycleTPCB > base.NsPerSimCycleTPCB*(1+threshold) {
+		bad = append(bad, fmt.Sprintf("ns/sim-cycle-tpcb %.0f -> %.0f (limit %.0f)",
+			base.NsPerSimCycleTPCB, cand.NsPerSimCycleTPCB, base.NsPerSimCycleTPCB*(1+threshold)))
 	}
 	if cand.AllocsPerSimCycle > base.AllocsPerSimCycle+0.01 {
 		bad = append(bad, fmt.Sprintf("allocs/sim-cycle %.4f -> %.4f",

@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
 
 // Repeated benchmark lines (-count=N) must aggregate best-of-N for the
 // noise-dominated wall metrics and worst-of-N for the exact allocation
@@ -94,6 +100,73 @@ func TestParseBenchFastForwardMetrics(t *testing.T) {
 	}
 	if rec.NsPerSimCycleNoFF != 9100 {
 		t.Errorf("ns_per_sim_cycle_noff = %v, want min 9100", rec.NsPerSimCycleNoFF)
+	}
+}
+
+// The compute-bound tpc-b twin aggregates best-of-N like the headline
+// wall metric, with its skip fraction riding along.
+func TestParseBenchTPCB(t *testing.T) {
+	rec, err := parseBench([]string{
+		"BenchmarkSimulatorThroughput 	 1	 200000000 ns/op	 0 B/sim-cycle	 0 allocs/sim-cycle	 1600 ns/sim-cycle	 145453 sim-cycles",
+		"BenchmarkSimulatorThroughputTPCB 	 1	 60000000 ns/op	 0.009 ff-skip-fraction	 540 ns/sim-cycle	 109726 sim-cycles	 382725 sim-instrs",
+		"BenchmarkSimulatorThroughputTPCB 	 1	 55000000 ns/op	 0.009 ff-skip-fraction	 495 ns/sim-cycle	 109726 sim-cycles	 382725 sim-instrs",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.NsPerSimCycleTPCB != 495 {
+		t.Errorf("ns_per_sim_cycle_tpcb = %v, want min 495", rec.NsPerSimCycleTPCB)
+	}
+	if rec.TPCBSkipFraction != 0.009 {
+		t.Errorf("tpcb_skip_fraction = %v, want 0.009", rec.TPCBSkipFraction)
+	}
+}
+
+// The tpc-b wall guard fires only when both records carry the metric:
+// pre-tpc-b baselines and -short candidates must compare cleanly.
+func TestCompareTPCB(t *testing.T) {
+	base := Record{NsPerSimCycle: 3000, NsPerSimCycleTPCB: 500}
+	if bad := compare(base, Record{NsPerSimCycle: 3000, NsPerSimCycleTPCB: 600}, 0.30); len(bad) != 0 {
+		t.Errorf("in-threshold tpc-b flagged: %v", bad)
+	}
+	if bad := compare(base, Record{NsPerSimCycle: 3000, NsPerSimCycleTPCB: 900}, 0.30); len(bad) != 1 {
+		t.Errorf("regressed tpc-b not flagged: %v", bad)
+	}
+	if bad := compare(base, Record{NsPerSimCycle: 3000}, 0.30); len(bad) != 0 {
+		t.Errorf("metric-absent candidate flagged: %v", bad)
+	}
+	old := Record{NsPerSimCycle: 3000}
+	if bad := compare(old, Record{NsPerSimCycle: 3000, NsPerSimCycleTPCB: 500}, 0.30); len(bad) != 0 {
+		t.Errorf("pre-tpc-b baseline flagged: %v", bad)
+	}
+}
+
+// gomaxprocs is stamped from the parsing host and must survive the
+// write/read round trip through a record file.
+func TestGoMaxProcsRoundTrip(t *testing.T) {
+	rec, err := parseBench([]string{
+		"BenchmarkSimulatorThroughput 	 1	 200000000 ns/op	 0 B/sim-cycle	 0 allocs/sim-cycle	 1600 ns/sim-cycle	 145453 sim-cycles",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := runtime.GOMAXPROCS(0); rec.GoMaxProcs != want {
+		t.Fatalf("gomaxprocs = %d, want %d", rec.GoMaxProcs, want)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_t.json")
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readRecord(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GoMaxProcs != rec.GoMaxProcs {
+		t.Fatalf("round-tripped gomaxprocs = %d, want %d", got.GoMaxProcs, rec.GoMaxProcs)
 	}
 }
 

@@ -81,11 +81,29 @@ func (l *Line) CleanAllWords() { l.WordDirty = DirtyNone }
 // of the NOR-of-dirty-bits silence signal.
 func (l *Line) AnyDirty() bool { return l.WordDirty != DirtyNone }
 
+// noTag marks an unallocated frame in the dense tag array. It can
+// never collide with a real line address: line addresses are
+// line-aligned, so their low bits are zero.
+const noTag = ^uint64(0)
+
 // Cache is one set-associative array with true-LRU replacement.
+//
+// Frames are stored set-major in one flat slice, with the tags
+// duplicated in a parallel dense uint64 array. Lookup — the hottest
+// operation in the whole simulator — scans only the tag array: the
+// ways of one set are Assoc consecutive words (a single host cache
+// line for typical associativities) instead of Line structs ~90 bytes
+// apart, and the unallocated case needs no separate flag check thanks
+// to the noTag sentinel. The invariant, maintained by Allocate and
+// Drop (the only identity mutations), is
+// tags[i] == lines[i].Addr when lines[i].Allocated, else noTag.
 type Cache struct {
-	cfg   Config
-	sets  [][]Line
-	clock uint64
+	cfg     Config
+	assoc   int
+	setMask uint64
+	tags    []uint64 // dense tag-match array, noTag = unallocated
+	lines   []Line   // frame storage, lines[set*assoc+way]
+	clock   uint64
 
 	// Evictable, if non-nil, is consulted before choosing a victim;
 	// frames whose line it rejects are skipped when possible. The
@@ -101,9 +119,15 @@ func New(cfg Config) *Cache {
 		panic(err)
 	}
 	sets := cfg.Sets()
-	c := &Cache{cfg: cfg, sets: make([][]Line, sets)}
-	for i := range c.sets {
-		c.sets[i] = make([]Line, cfg.Assoc)
+	c := &Cache{
+		cfg:     cfg,
+		assoc:   cfg.Assoc,
+		setMask: uint64(sets - 1),
+		tags:    make([]uint64, sets*cfg.Assoc),
+		lines:   make([]Line, sets*cfg.Assoc),
+	}
+	for i := range c.tags {
+		c.tags[i] = noTag
 	}
 	return c
 }
@@ -111,18 +135,21 @@ func New(cfg Config) *Cache {
 // Config returns the sizing this array was built with.
 func (c *Cache) Config() Config { return c.cfg }
 
-func (c *Cache) setIndex(lineAddr uint64) int {
-	return int((lineAddr >> mem.LineShift) & uint64(len(c.sets)-1))
+// setBase returns the index of the first way of the line's set in the
+// flat frame and tag arrays.
+func (c *Cache) setBase(lineAddr uint64) int {
+	return int((lineAddr>>mem.LineShift)&c.setMask) * c.assoc
 }
 
 // Lookup returns the frame holding the line containing addr, or nil.
 // It does not touch recency; callers decide what counts as a use.
 func (c *Cache) Lookup(addr uint64) *Line {
 	la := mem.LineAddr(addr)
-	set := c.sets[c.setIndex(la)]
-	for i := range set {
-		if set[i].Allocated && set[i].Addr == la {
-			return &set[i]
+	base := c.setBase(la)
+	tags := c.tags[base : base+c.assoc]
+	for i := range tags {
+		if tags[i] == la {
+			return &c.lines[base+i]
 		}
 	}
 	return nil
@@ -138,7 +165,8 @@ func (c *Cache) Touch(l *Line) {
 // modifying anything: an unallocated frame if present, otherwise the
 // least recently used (preferring frames the Evictable hook accepts).
 func (c *Cache) Victim(addr uint64) *Line {
-	set := c.sets[c.setIndex(mem.LineAddr(addr))]
+	base := c.setBase(mem.LineAddr(addr))
+	set := c.lines[base : base+c.assoc]
 	var victim *Line
 	var fallback *Line
 	for i := range set {
@@ -170,42 +198,45 @@ func (c *Cache) Allocate(addr uint64) (frame *Line, evicted Line) {
 	la := mem.LineAddr(addr)
 	// One pass over the set does the residency check (a caller bug)
 	// and the victim choice of Victim() together.
-	set := c.sets[c.setIndex(la)]
-	var victim, fallback, free *Line
+	base := c.setBase(la)
+	set := c.lines[base : base+c.assoc]
+	victim, fallback, free := -1, -1, -1
 	for i := range set {
 		f := &set[i]
 		if !f.Allocated {
-			if free == nil {
-				free = f
+			if free < 0 {
+				free = i
 			}
 			continue
 		}
 		if f.Addr == la {
 			panic(fmt.Sprintf("cache: Allocate(%#x) but line resident", la))
 		}
-		if free != nil {
+		if free >= 0 {
 			continue // free frame wins; only the residency check remains
 		}
-		if fallback == nil || f.lru < fallback.lru {
-			fallback = f
+		if fallback < 0 || f.lru < set[fallback].lru {
+			fallback = i
 		}
 		if c.Evictable != nil && !c.Evictable(f) {
 			continue
 		}
-		if victim == nil || f.lru < victim.lru {
-			victim = f
+		if victim < 0 || f.lru < set[victim].lru {
+			victim = i
 		}
 	}
-	frame = free
-	if frame == nil {
-		frame = victim
+	way := free
+	if way < 0 {
+		way = victim
 	}
-	if frame == nil {
-		frame = fallback
+	if way < 0 {
+		way = fallback
 	}
+	frame = &set[way]
 	evicted = *frame
 	c.clock++
 	*frame = Line{Allocated: true, Addr: la, lru: c.clock}
+	c.tags[base+way] = la
 	return frame, evicted
 }
 
@@ -213,20 +244,24 @@ func (c *Cache) Allocate(addr uint64) (frame *Line, evicted Line) {
 // discarded). Used when retained stale data must not survive, e.g.
 // after an eviction at an outer level of an inclusive hierarchy.
 func (c *Cache) Drop(addr uint64) bool {
-	if l := c.Lookup(addr); l != nil {
-		*l = Line{}
-		return true
+	la := mem.LineAddr(addr)
+	base := c.setBase(la)
+	tags := c.tags[base : base+c.assoc]
+	for i := range tags {
+		if tags[i] == la {
+			tags[i] = noTag
+			c.lines[base+i] = Line{}
+			return true
+		}
 	}
 	return false
 }
 
 // ForEach visits every allocated frame.
 func (c *Cache) ForEach(fn func(l *Line)) {
-	for s := range c.sets {
-		for i := range c.sets[s] {
-			if c.sets[s][i].Allocated {
-				fn(&c.sets[s][i])
-			}
+	for i := range c.lines {
+		if c.lines[i].Allocated {
+			fn(&c.lines[i])
 		}
 	}
 }

@@ -27,6 +27,14 @@ type MSHR struct {
 	Write  bool   // true when the line is wanted exclusively (ReadX)
 	Issued bool   // bus transaction has been sent
 
+	// FillAt is the scheduled completion cycle of the miss, known from
+	// the instant the bus grants the transaction (the data-network
+	// latency is fixed at grant). Zero while the request is still
+	// queued for arbitration. Fast-forward horizons read it to skip
+	// miss-blocked stretches in one step instead of one cycle at a
+	// time.
+	FillAt uint64
+
 	// LVP speculative state.
 	SpecDelivered bool     // some value was speculatively delivered
 	SpecWords     uint8    // bitmask of word slots delivered
@@ -72,8 +80,13 @@ func (m *MSHR) Verify(arrived *mem.Line) bool {
 // misses, which is itself a modeled structural hazard (it bounds the
 // memory-level parallelism LVP can exploit, one of the paper's central
 // points about finite machines).
+// Lookup runs on every load issue and store-drain attempt, so the live
+// line addresses are mirrored in a dense array (addrs, noTag = free
+// slot) scanned without touching the wide MSHR structs — the same
+// flattening the cache tag array uses.
 type MSHRFile struct {
 	entries []MSHR
+	addrs   []uint64 // addrs[i] == entries[i].Addr when Valid, else noTag
 	used    int
 }
 
@@ -91,9 +104,10 @@ func NewMSHRFile(n int) *MSHRFile {
 	if n < 1 {
 		panic(fmt.Sprintf("cache: MSHR file size %d", n))
 	}
-	f := &MSHRFile{entries: make([]MSHR, n)}
+	f := &MSHRFile{entries: make([]MSHR, n), addrs: make([]uint64, n)}
 	for i := range f.entries {
 		f.entries[i].Waiters = make([]Waiter, 0, initWaiterCap)
+		f.addrs[i] = noTag
 	}
 	return f
 }
@@ -101,8 +115,8 @@ func NewMSHRFile(n int) *MSHRFile {
 // Lookup finds the MSHR already tracking the line containing addr.
 func (f *MSHRFile) Lookup(addr uint64) *MSHR {
 	la := mem.LineAddr(addr)
-	for i := range f.entries {
-		if f.entries[i].Valid && f.entries[i].Addr == la {
+	for i, a := range f.addrs {
+		if a == la {
 			return &f.entries[i]
 		}
 	}
@@ -120,6 +134,7 @@ func (f *MSHRFile) Alloc(addr uint64, write bool) *MSHR {
 			m := &f.entries[i]
 			w := m.Waiters[:0] // keep the waiter list's backing array
 			*m = MSHR{Valid: true, Addr: mem.LineAddr(addr), Write: write, Waiters: w}
+			f.addrs[i] = m.Addr
 			f.used++
 			return m
 		}
@@ -133,6 +148,12 @@ func (f *MSHRFile) Free(m *MSHR) {
 	if m.Valid {
 		f.used--
 	}
+	for i := range f.entries {
+		if &f.entries[i] == m {
+			f.addrs[i] = noTag
+			break
+		}
+	}
 	w := m.Waiters[:0]
 	*m = MSHR{Waiters: w}
 }
@@ -143,6 +164,25 @@ func (f *MSHRFile) InUse() int { return f.used }
 
 // Cap returns the file capacity.
 func (f *MSHRFile) Cap() int { return len(f.entries) }
+
+// EarliestFill returns the earliest scheduled completion cycle among
+// live MSHRs whose bus transaction has been granted (FillAt set). The
+// second result is false when no live MSHR has a known fill time — the
+// file is empty, or every entry is still queued for arbitration.
+func (f *MSHRFile) EarliestFill() (uint64, bool) {
+	var at uint64
+	found := false
+	for i := range f.entries {
+		e := &f.entries[i]
+		if e.Valid && e.FillAt != 0 {
+			if !found || e.FillAt < at {
+				at = e.FillAt
+				found = true
+			}
+		}
+	}
+	return at, found
+}
 
 // OldestSpecSeq scans all MSHRs for the oldest op in program order
 // with outstanding speculative data, mirroring the commit-pointer scan

@@ -496,9 +496,14 @@ func (c *Controller) Tick(now uint64) {
 // first-touch reuse observation or VS->S transition is pending, or if
 // a permission request would be issued; it is a pure stall while a
 // transaction is outstanding or the MSHR file blocks the request.
-// Timed wakeups all originate at the bus, so the only returns are
-// "now" and "never" — underestimating (waking early) costs a few
-// wasted ticks, overestimating would corrupt determinism.
+// Timed wakeups originate at the bus, but when the head store is
+// blocked on a granted transaction the completion cycle is already
+// known (MSHR.FillAt, recorded at grant via bus.Scheduler): those
+// cases return the scheduled fill instead of "never", making the
+// controller's horizon self-contained. Every FillAt equals a bus
+// in-flight doneAt, so the returned value never undercuts the global
+// minimum — underestimating (waking early) costs a few wasted ticks,
+// overestimating would corrupt determinism.
 func (c *Controller) NextEvent(now uint64) uint64 {
 	const never = ^uint64(0)
 	if len(c.storeBuf) == 0 {
@@ -522,6 +527,13 @@ func (c *Controller) NextEvent(now uint64) uint64 {
 		}
 	}
 	if e.waiting {
+		// The permission transaction is outstanding. Once granted, the
+		// completion cycle is on the line's MSHR; before grant (or
+		// after an at-grant perform already consumed the head) the
+		// wake comes through arbitration, which the bus horizon owns.
+		if m := c.mshrs.Lookup(la); m != nil && m.FillAt > now {
+			return m.FillAt
+		}
 		return never
 	}
 	if len(c.validatedAt) > 0 {
@@ -532,11 +544,31 @@ func (c *Controller) NextEvent(now uint64) uint64 {
 	if l != nil && l.State == StateVS {
 		return now // VS -> S transition plus counter
 	}
-	if c.mshrs.Lookup(la) != nil || c.mshrs.InUse() >= c.mshrs.Cap() {
-		return never // blocked until an MSHR frees or the miss lands
+	if m := c.mshrs.Lookup(la); m != nil {
+		// A miss to the head store's line is in flight; the head
+		// retries when it lands.
+		if m.FillAt > now {
+			return m.FillAt
+		}
+		return never
+	}
+	if c.mshrs.InUse() >= c.mshrs.Cap() {
+		// The file is exhausted; the head retries when any entry
+		// frees, bounded by the earliest scheduled fill.
+		if at, ok := c.mshrs.EarliestFill(); ok && at > now {
+			return at
+		}
+		return never
 	}
 	return now // a permission request would be issued this tick
 }
+
+// EarliestFill implements the cpu.MemSystem horizon hook: the earliest
+// scheduled completion cycle among this node's granted outstanding
+// misses, false when none is known. The attached core folds it into
+// its quiescence horizon so a core idle behind its own in-flight loads
+// reports the fill cycle rather than "unknown".
+func (c *Controller) EarliestFill() (uint64, bool) { return c.mshrs.EarliestFill() }
 
 // SkipCycles replays the side effects of ticking every cycle in
 // [from, to) while the controller is quiescent: the occupancy

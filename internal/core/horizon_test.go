@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"tssim/internal/mem"
+)
+
+// These tests pin the known-latency horizon contract: FillAt is
+// recorded at the bus grant instant, equals the cycle the miss
+// actually completes (never later — overestimating a horizon would let
+// fast-forward skip past real work), and is what NextEvent and
+// EarliestFill report while the node is blocked on it.
+
+// tickUntil runs the harness until cond holds, returning the cycle
+// during which it first did.
+func (h *harness) tickUntil(cond func() bool) uint64 {
+	for i := 0; i < 100000; i++ {
+		at := h.now
+		h.tick(1)
+		if cond() {
+			return at
+		}
+	}
+	h.t.Fatal("tickUntil: condition never held")
+	return 0
+}
+
+// A load miss's FillAt appears at grant and names the exact cycle the
+// load completes; EarliestFill exposes it while the miss is the node's
+// only outstanding work.
+func TestFillAtMatchesLoadCompletion(t *testing.T) {
+	h := newHarness(t, 1, nil)
+	const addr = 0x1000
+	s := h.seq()
+	if r := h.nodes[0].Load(s, addr, false); r.Status != LoadMiss {
+		t.Fatalf("cold load status = %v, want miss", r.Status)
+	}
+	la := mem.LineAddr(addr)
+
+	h.tickUntil(func() bool {
+		m := h.nodes[0].mshrs.Lookup(la)
+		return m != nil && m.FillAt != 0
+	})
+	fillAt := h.nodes[0].mshrs.Lookup(la).FillAt
+	if at, ok := h.nodes[0].EarliestFill(); !ok || at != fillAt {
+		t.Fatalf("EarliestFill = %d,%v; want %d,true", at, ok, fillAt)
+	}
+
+	doneAt := h.tickUntil(func() bool {
+		_, ok := h.clients[0].loadsDone[s]
+		return ok
+	})
+	if doneAt != fillAt {
+		t.Fatalf("load completed at cycle %d, FillAt promised %d", doneAt, fillAt)
+	}
+}
+
+// While the head store's permission transaction is outstanding and
+// granted, NextEvent must return the scheduled fill — the horizon that
+// turns a miss-blocked store drain into one skippable stretch — and
+// the store must drain at exactly that cycle.
+func TestStoreHorizonReturnsFillAt(t *testing.T) {
+	h := newHarness(t, 1, nil)
+	const addr = 0x2000
+	la := mem.LineAddr(addr)
+	if !h.nodes[0].StoreCommit(h.seq(), 0x100, addr, 7) {
+		t.Fatal("store buffer rejected the first store")
+	}
+
+	h.tickUntil(func() bool {
+		m := h.nodes[0].mshrs.Lookup(la)
+		return m != nil && m.FillAt != 0
+	})
+	fillAt := h.nodes[0].mshrs.Lookup(la).FillAt
+	if got := h.nodes[0].NextEvent(h.now); got != fillAt {
+		t.Fatalf("NextEvent(%d) = %d, want the scheduled fill %d", h.now, got, fillAt)
+	}
+
+	drainedAt := h.tickUntil(func() bool { return h.nodes[0].StoreBufEmpty() })
+	if drainedAt != fillAt {
+		t.Fatalf("store drained at cycle %d, horizon promised %d", drainedAt, fillAt)
+	}
+}
+
+// With the MSHR file exhausted by load misses, a blocked head store's
+// horizon must fall back to the earliest scheduled fill among the
+// occupying entries — the cycle the first slot can free.
+func TestMSHRFullHorizonUsesEarliestFill(t *testing.T) {
+	h := newHarness(t, 1, nil)
+	// smallNodeCfg has 4 MSHRs; occupy all of them with load misses to
+	// distinct lines.
+	for i := 0; i < 4; i++ {
+		addr := uint64(0x1000 + i*0x140)
+		if r := h.nodes[0].Load(h.seq(), addr, false); r.Status != LoadMiss {
+			t.Fatalf("load %d status = %v, want miss", i, r.Status)
+		}
+	}
+	if h.nodes[0].mshrs.InUse() != h.nodes[0].mshrs.Cap() {
+		t.Fatal("MSHR file not exhausted")
+	}
+	if !h.nodes[0].StoreCommit(h.seq(), 0x100, 0x9000, 7) {
+		t.Fatal("store buffer rejected the store")
+	}
+
+	h.tickUntil(func() bool {
+		_, ok := h.nodes[0].mshrs.EarliestFill()
+		return ok && h.nodes[0].mshrs.InUse() == h.nodes[0].mshrs.Cap()
+	})
+	earliest, _ := h.nodes[0].mshrs.EarliestFill()
+	if earliest <= h.now {
+		t.Skipf("earliest fill %d already due at cycle %d", earliest, h.now)
+	}
+	if got := h.nodes[0].NextEvent(h.now); got != earliest {
+		t.Fatalf("NextEvent(%d) = %d, want earliest fill %d", h.now, got, earliest)
+	}
+
+	// The horizon must not overshoot: the store drains only after a
+	// slot frees and its own ReadX completes, strictly after earliest.
+	drainedAt := h.tickUntil(func() bool { return h.nodes[0].StoreBufEmpty() })
+	if drainedAt < earliest {
+		t.Fatalf("store drained at cycle %d, before the %d horizon — overshoot", drainedAt, earliest)
+	}
+}

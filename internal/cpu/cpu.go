@@ -49,6 +49,15 @@ type MemSystem interface {
 	// completions). The core snapshots it when caching a quiescence
 	// horizon and revalidates before trusting the cache.
 	StateVersion() uint64
+
+	// EarliestFill reports the earliest scheduled completion cycle
+	// among this node's granted outstanding misses, false when none is
+	// known. The fast-forward path folds it into the quiescence
+	// horizon so a core waiting only on its own in-flight loads
+	// reports the known fill cycle instead of "unknown". The value is
+	// always one of the bus's in-flight completion times, so it can
+	// never pull the global skip target below what the bus reports.
+	EarliestFill() (uint64, bool)
 }
 
 // Config sizes the core. Zero values take the paper-flavored defaults
@@ -169,6 +178,63 @@ type entry struct {
 
 	// SLE: this entry was handled by an elided region commit.
 	elided bool
+
+	// dead marks an entry returned to the pool (retired or squashed).
+	// The scheduler queues hold seq-tagged references that go stale on
+	// squash; dead plus a seq mismatch is how they are detected lazily.
+	dead bool
+
+	// queued: this entry has been placed on the core's readyQ. Set at
+	// most once per entry lifetime — once issued/done/dead an entry
+	// can never become actionable again — so it doubles as the
+	// enqueue-dedup guard (slot-0 and slot-1 wakeups may both fire).
+	queued bool
+
+	// consHead is the wakeup list: consumers whose source slot waits
+	// on this entry's result, registered at dispatch and drained by
+	// broadcast. Chunks come from the core's free list (see
+	// consChunk), so steady state allocates nothing.
+	consHead *consChunk
+
+	// Memoized olderStoreScan verdict, valid while scanVer matches the
+	// core's lsqVer — quiesce reuses what issue just computed instead
+	// of re-walking the window.
+	scanVer   uint64
+	scanStall bool
+	scanFwd   *entry
+}
+
+// consRef is one wakeup registration: entry e (identified by seq, so a
+// recycled slot is detected) waits on the producer in source slot slot.
+type consRef struct {
+	e    *entry
+	seq  uint64
+	slot int8
+}
+
+// consChunk is a fixed-size block of wakeup registrations. Producers
+// hold a chain of chunks rather than per-entry slices: the core's
+// total live registrations are bounded by two source slots per window
+// entry, so the free list converges to a fixed size and the
+// steady-state cycle loop stays exactly allocation-free — per-entry
+// backing arrays would instead grow lazily forever as pool objects
+// rotate through producer roles.
+const consChunkCap = 7
+
+type consChunk struct {
+	refs [consChunkCap]consRef
+	n    int8
+	next *consChunk
+}
+
+// entryRef is a seq-tagged reference into the window used by the
+// scheduler queues (execQ, pendQ). A squash leaves stale references
+// behind; they are skipped when the slot is dead or was recycled under
+// a new seq. Seqs strictly increase and are never reused, so the tag
+// is unambiguous.
+type entryRef struct {
+	e   *entry
+	seq uint64
 }
 
 func (e *entry) srcCount() int {
@@ -271,12 +337,39 @@ type Core struct {
 	lsqUsed int
 
 	// entryPool recycles retired/squashed RUU entries so dispatch does
-	// not allocate in steady state.
+	// not allocate in steady state. chunkFree is the consChunk free
+	// list (intrusive, via next).
 	entryPool []*entry
+	chunkFree *consChunk
 
 	// Scheduler fast-path bookkeeping.
 	numExecuting   int // entries between issue and completion
 	storesInFlight int // unretired stores in the window
+
+	// execQ holds the executing entries sorted by seq, so complete
+	// touches only in-flight work instead of walking the whole window.
+	// readyQ holds the actionable unissued entries sorted by seq — the
+	// issue loop's working set. An entry becomes actionable (and is
+	// enqueued exactly once, see entry.queued) when its last operand
+	// broadcast arrives, or, for a store, when its base register is
+	// ready for address resolution; operand-blocked entries are never
+	// visited. Both queues hold seq-tagged references pruned lazily
+	// (see entryRef).
+	execQ  []entryRef
+	readyQ []entryRef
+
+	// LSQ disambiguation filter: an incrementally-maintained summary
+	// of the window's stores. lsqUnresolved counts in-window stores
+	// whose address is still unknown; lsqBucket counts resolved stores
+	// per word-address hash bucket. A load whose bucket is empty while
+	// every store address is resolved provably has no older-store
+	// conflict, so olderStoreScan answers O(1) without walking the
+	// window. lsqVer changes whenever any scan input changes (store
+	// address resolves, store data arrives, SC completes or elides,
+	// store retires or is squashed) and keys the per-entry memo.
+	lsqUnresolved int
+	lsqBucket     [64]uint16
+	lsqVer        uint64
 
 	fetchQ    []fetchSlot
 	fetchBuf  []fetchSlot // backing storage for fetchQ, compacted like ruuBuf
@@ -288,9 +381,6 @@ type Core struct {
 	// isync drain: dispatch stalls while a serializing instruction is
 	// in flight (outside an SLE region).
 	drainISync *entry
-
-	// LVP bookkeeping: seq -> entry for callback routing.
-	bySeq map[uint64]*entry
 
 	// Last committed load-locked, for SLE idiom detection.
 	lastLL struct {
@@ -353,10 +443,24 @@ func New(cfg Config, id int, prog *isa.Program, m MemSystem, counters *stats.Cou
 		ruuBuf:   make([]*entry, cfg.RUUSize),
 		fetchBuf: make([]fetchSlot, cfg.RUUSize),
 		bpred:    newBpred(1024),
-		bySeq:    make(map[uint64]*entry),
+		lsqVer:   1, // nonzero so a recycled entry's zeroed scanVer never matches
 	}
 	c.ruu = c.ruuBuf[:0]
 	c.fetchQ = c.fetchBuf[:0]
+	// Preallocate the scheduler structures to their worst-case bounds
+	// so the cycle loop never allocates: the queues hold at most the
+	// window plus compaction slack in stale references, and the chunk
+	// free list at most one partial chunk per producer plus the full
+	// registration load (two source slots per window entry).
+	c.execQ = make([]entryRef, 0, 2*cfg.RUUSize)
+	c.readyQ = make([]entryRef, 0, 2*cfg.RUUSize)
+	for i := 0; i < cfg.RUUSize+2*cfg.RUUSize/consChunkCap; i++ {
+		c.putChunk(&consChunk{})
+	}
+	c.entryPool = make([]*entry, 0, cfg.RUUSize+1)
+	for i := 0; i < cfg.RUUSize; i++ {
+		c.entryPool = append(c.entryPool, &entry{})
+	}
 	if cfg.SLE.Enabled {
 		c.sle = newSLEEngine(c, cfg.SLE, counters)
 	}
@@ -414,9 +518,108 @@ func (c *Core) ElidedLockValue() (addr, val uint64, ok bool) {
 }
 
 // freeEntry returns a dead RUU entry to the pool for reuse by
-// dispatchOne. Callers must have dropped every reference to it first
-// (bySeq, regProd, drainISync, the SLE engine's region view).
-func (c *Core) freeEntry(e *entry) { c.entryPool = append(c.entryPool, e) }
+// dispatchOne. Callers must have dropped every strong reference to it
+// first (regProd, drainISync, the SLE engine's region view); the lazy
+// seq-tagged references in execQ/pendQ/cons see the dead flag.
+func (c *Core) freeEntry(e *entry) {
+	e.dead = true
+	for ch := e.consHead; ch != nil; {
+		next := ch.next
+		c.putChunk(ch)
+		ch = next
+	}
+	e.consHead = nil
+	c.entryPool = append(c.entryPool, e)
+}
+
+func (c *Core) getChunk() *consChunk {
+	if ch := c.chunkFree; ch != nil {
+		c.chunkFree = ch.next
+		ch.next = nil
+		return ch
+	}
+	return &consChunk{}
+}
+
+func (c *Core) putChunk(ch *consChunk) {
+	ch.n = 0
+	ch.next = c.chunkFree
+	c.chunkFree = ch
+}
+
+// addConsumer registers consumer w's source slot against producer p.
+func (c *Core) addConsumer(p, w *entry, slot int8) {
+	ch := p.consHead
+	if ch == nil || ch.n == consChunkCap {
+		nc := c.getChunk()
+		nc.next = ch
+		p.consHead = nc
+		ch = nc
+	}
+	ch.refs[ch.n] = consRef{w, w.seq, slot}
+	ch.n++
+}
+
+// entryBySeq resolves a sequence number to its window entry, or nil
+// when the seq is not in flight. The window is sorted by seq but not
+// contiguous — a squash kills a tail of seqs that are never reused,
+// so a refetch resumes at a higher seq — hence binary search rather
+// than head-relative indexing. Callbacks that need it (LoadDone,
+// SCDone, LVP verification) fire per memory event, not per cycle.
+func (c *Core) entryBySeq(seq uint64) *entry {
+	lo, hi := 0, len(c.ruu)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.ruu[mid].seq < seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(c.ruu) && c.ruu[lo].seq == seq {
+		return c.ruu[lo]
+	}
+	return nil
+}
+
+// markExecuting moves an entry into the executing state and registers
+// it with complete's queue, keeping execQ sorted by seq (insertion
+// from the back: out-of-order wakeups such as a LoadDone for an old
+// load land behind already-queued younger entries).
+func (c *Core) markExecuting(e *entry) {
+	e.executing = true
+	c.numExecuting++
+	q := append(c.execQ, entryRef{})
+	i := len(q) - 1
+	for i > 0 && q[i-1].seq > e.seq {
+		q[i] = q[i-1]
+		i--
+	}
+	q[i] = entryRef{e, e.seq}
+	c.execQ = q
+}
+
+// enqueueReady registers an actionable unissued entry with the issue
+// queue, keeping readyQ sorted by seq. Safe to call from a broadcast
+// fired inside the issue walk (an elided SC waking its consumers):
+// consumers are strictly younger than the broadcasting entry at the
+// walk cursor, so the insertion lands beyond the cursor and is picked
+// up by the same cycle's walk — exactly as the old full-window scan
+// saw entries woken ahead of it.
+func (c *Core) enqueueReady(e *entry) {
+	if e.queued || e.issued || e.done || e.dead {
+		return
+	}
+	e.queued = true
+	q := append(c.readyQ, entryRef{})
+	i := len(q) - 1
+	for i > 0 && q[i-1].seq > e.seq {
+		q[i] = q[i-1]
+		i--
+	}
+	q[i] = entryRef{e, e.seq}
+	c.readyQ = q
+}
 
 // Tick advances the core one cycle. When a cached quiescence horizon
 // is still valid and strictly in the future, this tick is by the
@@ -494,18 +697,31 @@ func (c *Core) quiesce(now uint64) (next uint64, spin coreSpin) {
 			}
 		}
 	}
-	for idx, e := range c.ruu {
+	// Executing entries bound the horizon by their completion times;
+	// only readyQ entries (dispatched, unissued, actionable) can pin
+	// the machine to now. Together they cover exactly the cases the
+	// full window walk distinguished: everything else in the window is
+	// operand-blocked (visited nothing in the old walk either) or
+	// issued/done and waiting on a callback.
+	for _, r := range c.execQ {
+		e := r.e
+		if e.dead || e.seq != r.seq || !e.executing {
+			continue // stale reference from a squash
+		}
+		if e.doneAt < next {
+			next = e.doneAt
+		}
+	}
+	for _, r := range c.readyQ {
+		e := r.e
+		if e.dead || e.seq != r.seq || e.issued || e.done {
+			continue // stale reference, or left the actionable set
+		}
 		if e.needsAddr && e.srcReady[0] {
 			return now, coreSpin{} // store address resolves this tick
 		}
-		if e.executing {
-			if e.doneAt < next {
-				next = e.doneAt
-			}
-			continue
-		}
-		if e.issued || e.done || e.pendingSrcs != 0 {
-			continue // waiting on a callback or an operand broadcast
+		if e.pendingSrcs != 0 {
+			continue // resolved store waiting on its data broadcast
 		}
 		switch {
 		case e.isLoad:
@@ -527,7 +743,7 @@ func (c *Core) quiesce(now uint64) (next uint64, spin coreSpin) {
 			}
 			// LoadProbeRetryPure: silent retry, nothing to replay.
 		case e.ins.Op == isa.OpSC:
-			if idx == 0 && !e.scSent {
+			if len(c.ruu) > 0 && e == c.ruu[0] && !e.scSent {
 				return now, coreSpin{}
 			}
 		default:
@@ -552,6 +768,17 @@ func (c *Core) quiesce(now uint64) (next uint64, spin coreSpin) {
 	}
 	if !c.fetchStop && len(c.fetchQ)+len(c.ruu) < c.cfg.RUUSize {
 		return now, coreSpin{} // fetch fills the queue
+	}
+	if next == never {
+		// Callback-waiting: every in-window op is blocked on a memory
+		// completion (LoadDone/SCDone) or a dependent broadcast. When
+		// the memory system already knows the earliest fill cycle of
+		// this node's granted misses, report it — the known-latency
+		// horizon — instead of "unknown". Ungranted requests stay
+		// "never": arbitration is the bus horizon's to bound.
+		if at, ok := c.memsys.EarliestFill(); ok && at > now {
+			next = at
+		}
 	}
 	return next, spin
 }
@@ -652,7 +879,7 @@ func (c *Core) retireHead() {
 	e := c.ruu[0]
 	c.ruu = c.ruu[1:]
 	if e.isStore {
-		c.storesInFlight--
+		c.lsqStoreLeft(e)
 	}
 	if e.executing {
 		c.numExecuting--
@@ -666,7 +893,6 @@ func (c *Core) retireHead() {
 	if e.ins.IsMem() {
 		c.lsqUsed--
 	}
-	delete(c.bySeq, e.seq)
 	if rd, ok := e.ins.WritesReg(); ok {
 		c.regs[rd] = e.result
 		if c.regProd[rd] == e {
@@ -724,46 +950,82 @@ func (c *Core) checkCommit(e *entry) {
 
 func (c *Core) complete() {
 	if c.numExecuting == 0 {
-		return
-	}
-	// Indexed loop, not range: resolving a mispredicted branch
-	// squashes every younger entry, truncating c.ruu. Ranging over
-	// the pre-squash slice would keep visiting the dead wrong-path
-	// entries — and a dead branch "resolving" would redirect fetch to
-	// a wrong-path target.
-	for i := 0; i < len(c.ruu); i++ {
-		e := c.ruu[i]
-		if e.executing && e.doneAt <= c.now {
-			e.executing = false
-			c.numExecuting--
-			e.done = true
-			c.broadcast(e)
-			if e.isBranch {
-				c.resolveBranch(e)
-			}
+		// Only stale squash leftovers can remain queued; drop them so
+		// the queue cannot grow without bound.
+		if len(c.execQ) > 0 {
+			c.execQ = c.execQ[:0]
 		}
-	}
-}
-
-// broadcast wakes consumers of e's destination register.
-func (c *Core) broadcast(e *entry) {
-	if _, ok := e.ins.WritesReg(); !ok {
 		return
 	}
-	seq, res := e.seq, e.result
-	for _, w := range c.ruu {
-		// Most of the window has no pending operands; one comparison
-		// skips those entries without touching their source slots.
-		if w.pendingSrcs == 0 || w.seq <= seq {
+	// Walk the executing set in program (seq) order — the same order
+	// the old full-window walk visited entries, which matters because
+	// resolving a mispredicted branch squashes everything younger.
+	// Entries killed by such a squash sit behind the branch in the
+	// queue and are skipped by the dead check, exactly as the
+	// truncated window hid them from the indexed walk.
+	out := c.execQ[:0]
+	for i := 0; i < len(c.execQ); i++ {
+		r := c.execQ[i]
+		e := r.e
+		if e.dead || e.seq != r.seq || !e.executing {
+			continue // stale reference from a squash
+		}
+		if e.doneAt > c.now {
+			out = append(out, r)
 			continue
 		}
-		for i := int8(0); i < w.nSrc; i++ {
+		e.executing = false
+		c.numExecuting--
+		e.done = true
+		if e.isStore {
+			c.lsqVer++ // an SC completing changes disambiguation verdicts
+		}
+		c.broadcast(e)
+		if e.isBranch {
+			c.resolveBranch(e)
+		}
+	}
+	c.execQ = out
+}
+
+// broadcast wakes the consumers registered against e at dispatch. The
+// list can hold references to squashed (recycled or pooled) entries;
+// the seq tag filters them. Waking a store's data operand changes
+// forwarding verdicts, so it bumps lsqVer. Wake order (chunk order,
+// not window order) is immaterial: the per-slot effects are disjoint
+// and enqueueReady's sorted insert canonicalizes the issue order.
+func (c *Core) broadcast(e *entry) {
+	ch := e.consHead
+	if ch == nil {
+		return
+	}
+	e.consHead = nil
+	seq, res := e.seq, e.result
+	for ch != nil {
+		for k := int8(0); k < ch.n; k++ {
+			r := ch.refs[k]
+			w := r.e
+			if w.dead || w.seq != r.seq {
+				continue
+			}
+			i := r.slot
 			if !w.srcReady[i] && w.srcProd[i] == seq {
 				w.srcReady[i] = true
 				w.src[i] = res
 				w.pendingSrcs--
+				if w.isStore && i == 1 {
+					c.lsqVer++
+				}
+				if w.pendingSrcs == 0 || (i == 0 && w.needsAddr) {
+					// Fully woken, or a store whose address can now
+					// resolve: it becomes the issue walk's business.
+					c.enqueueReady(w)
+				}
 			}
 		}
+		next := ch.next
+		c.putChunk(ch)
+		ch = next
 	}
 }
 
@@ -792,12 +1054,11 @@ func (c *Core) squashAfter(seq uint64, newPC int) {
 		if e.seq <= seq {
 			keep = append(keep, e)
 		} else {
-			delete(c.bySeq, e.seq)
 			if e.ins.IsMem() {
 				c.lsqUsed--
 			}
 			if e.isStore {
-				c.storesInFlight--
+				c.lsqStoreLeft(e)
 			}
 			if e.executing {
 				c.numExecuting--
@@ -832,8 +1093,8 @@ func (c *Core) squashAfter(seq uint64, newPC int) {
 // younger, re-fetching from that instruction (LVP misprediction
 // recovery).
 func (c *Core) squashFromSeq(seq uint64) {
-	e, ok := c.bySeq[seq]
-	if !ok {
+	e := c.entryBySeq(seq)
+	if e == nil {
 		return
 	}
 	c.squashAfter(seq-1, e.pc)
@@ -856,9 +1117,23 @@ func (c *Core) rebuildRename() {
 
 func (c *Core) issue() {
 	issued, memIssued := 0, 0
-	for idx, e := range c.ruu {
+	// Walk the actionable entries in program order, compacting
+	// in place with a write cursor. The queue can grow mid-walk (an
+	// elided SC's broadcast enqueues consumers, always beyond the read
+	// cursor), so the loop re-reads the slice each iteration rather
+	// than snapshotting it.
+	w := 0
+	for i := 0; i < len(c.readyQ); i++ {
+		r := c.readyQ[i]
+		e := r.e
+		if e.dead || e.seq != r.seq || e.issued || e.done {
+			continue // issued, completed (elided SC), or squashed
+		}
 		if issued >= c.cfg.IssueWidth {
-			return
+			// Width exhausted: like the old walk's early return, no
+			// further store address may resolve this cycle.
+			w += copy(c.readyQ[w:], c.readyQ[i:])
+			break
 		}
 		// Store addresses resolve as soon as the base register is
 		// ready, independent of the data operand — real LSQs compute
@@ -868,50 +1143,61 @@ func (c *Core) issue() {
 			e.effAddr = isa.EffAddr(e.ins, e.src[0])
 			e.addrKnown = true
 			e.needsAddr = false
+			c.lsqUnresolved--
+			c.lsqBucket[lsqBucketOf(e.effAddr)]++
+			c.lsqVer++
 			if c.sle != nil && e.ins.Op == isa.OpSt {
 				c.sle.onStoreResolved(e)
 			}
 		}
-		if e.issued || e.done || e.pendingSrcs != 0 {
-			continue
-		}
-		switch {
-		case e.isLoad:
-			if memIssued >= c.cfg.MemPorts {
-				continue
-			}
-			if c.issueLoad(e) {
+		keep := true
+		if e.pendingSrcs != 0 {
+			// Resolved-address store awaiting its data broadcast.
+		} else {
+			switch {
+			case e.isLoad:
+				if memIssued < c.cfg.MemPorts && c.issueLoad(e) {
+					issued++
+					memIssued++
+					keep = false
+				}
+			case e.ins.Op == isa.OpSt:
+				// Stores "execute" once address and data are known; the
+				// write happens at retirement.
+				e.issued = true
+				e.done = true
+				e.result = 0
 				issued++
-				memIssued++
+				keep = false
+			case e.ins.Op == isa.OpSC:
+				// SC executes only at the head of the window (a
+				// serialization the real stwcx. shares). It stays queued
+				// until its completion or elision marks it done.
+				if len(c.ruu) > 0 && e == c.ruu[0] && !e.scSent {
+					c.issueSC(e)
+				}
+				keep = !e.done
+			case e.isBranch || e.ins.Op == isa.OpNop || e.ins.Op == isa.OpISync || e.ins.Op == isa.OpHalt:
+				e.issued = true
+				e.doneAt = c.now + uint64(e.ins.BaseLatency())
+				c.markExecuting(e)
+				issued++
+				keep = false
+			default: // ALU
+				e.issued = true
+				e.doneAt = c.now + uint64(e.ins.BaseLatency())
+				e.result = isa.EvalALU(e.ins, e.src[0], e.src[1])
+				c.markExecuting(e)
+				issued++
+				keep = false
 			}
-		case e.ins.Op == isa.OpSt:
-			// Stores "execute" once address and data are known; the
-			// write happens at retirement.
-			e.issued = true
-			e.done = true
-			e.result = 0
-			issued++
-		case e.ins.Op == isa.OpSC:
-			// SC executes only at the head of the window (a
-			// serialization the real stwcx. shares); handled below.
-			if idx == 0 && !e.scSent {
-				c.issueSC(e)
-			}
-		case e.isBranch || e.ins.Op == isa.OpNop || e.ins.Op == isa.OpISync || e.ins.Op == isa.OpHalt:
-			e.issued = true
-			e.executing = true
-			c.numExecuting++
-			e.doneAt = c.now + uint64(e.ins.BaseLatency())
-			issued++
-		default: // ALU
-			e.issued = true
-			e.executing = true
-			c.numExecuting++
-			e.doneAt = c.now + uint64(e.ins.BaseLatency())
-			e.result = isa.EvalALU(e.ins, e.src[0], e.src[1])
-			issued++
+		}
+		if keep {
+			c.readyQ[w] = r
+			w++
 		}
 	}
+	c.readyQ = c.readyQ[:w]
 }
 
 // issueSC starts a store-conditional at the window head: either the
@@ -930,6 +1216,24 @@ func (c *Core) issueSC(e *entry) {
 	}
 }
 
+// lsqBucketOf hashes a word address into the disambiguation filter's
+// bucket space. Equal addresses always share a bucket, so an empty
+// bucket proves no-conflict; a collision merely costs a full scan.
+func lsqBucketOf(addr uint64) int { return int((addr >> 3) & 63) }
+
+// lsqStoreLeft removes a store leaving the window (retired or
+// squashed) from the disambiguation filter and invalidates memoized
+// scan verdicts, which may hold a forwarding pointer to it.
+func (c *Core) lsqStoreLeft(e *entry) {
+	c.storesInFlight--
+	if e.addrKnown {
+		c.lsqBucket[lsqBucketOf(e.effAddr)]--
+	} else {
+		c.lsqUnresolved--
+	}
+	c.lsqVer++
+}
+
 // olderStoreScan performs conservative LSQ disambiguation for a load
 // whose address is known: it reports whether the load must stall (an
 // unresolved older store address, an unresolved older SC, or a
@@ -937,10 +1241,33 @@ func (c *Core) issueSC(e *entry) {
 // youngest older store to the same word to forward from (nil: go to
 // memory). Failed SCs are transparent (they wrote nothing).
 // NextEvent shares the scan to classify a stalled load as pure.
+//
+// The common case is O(1): when every in-window store address is
+// resolved and no store hashes to the load's address bucket, the walk
+// could only answer (false, nil). The summary counts include stores
+// younger than the load, so a hit is conservative — it just falls
+// back to the full scan. Verdicts are memoized per entry under
+// lsqVer, which changes whenever any scan input does, so quiesce
+// reuses what issue computed the same cycle instead of re-walking.
 func (c *Core) olderStoreScan(e *entry) (stall bool, fwd *entry) {
 	if c.storesInFlight == 0 {
 		return false, nil
 	}
+	if c.lsqUnresolved == 0 && c.lsqBucket[lsqBucketOf(e.effAddr)] == 0 {
+		return false, nil
+	}
+	if e.scanVer == c.lsqVer {
+		return e.scanStall, e.scanFwd
+	}
+	stall, fwd = c.olderStoreScanFull(e)
+	e.scanVer = c.lsqVer
+	e.scanStall, e.scanFwd = stall, fwd
+	return stall, fwd
+}
+
+// olderStoreScanFull is the filter's fallback: the original
+// O(older-stores) window walk.
+func (c *Core) olderStoreScanFull(e *entry) (stall bool, fwd *entry) {
 	for _, s := range c.ruu {
 		if s.seq >= e.seq {
 			break
@@ -983,10 +1310,9 @@ func (c *Core) issueLoad(e *entry) bool {
 	}
 	if fwd != nil {
 		e.issued = true
-		e.executing = true
-		c.numExecuting++
 		e.doneAt = c.now + 1
 		e.result = fwd.src[1]
+		c.markExecuting(e)
 		c.cnt.lsqForward.Inc()
 		if c.sle != nil {
 			c.sle.onLoadIssued(e)
@@ -999,17 +1325,15 @@ func (c *Core) issueLoad(e *entry) bool {
 		return false
 	case core.LoadHit:
 		e.issued = true
-		e.executing = true
-		c.numExecuting++
 		e.doneAt = c.now + uint64(r.Lat)
 		e.result = r.Value
+		c.markExecuting(e)
 	case core.LoadSpec:
 		e.issued = true
-		e.executing = true
-		c.numExecuting++
 		e.doneAt = c.now + uint64(r.Lat)
 		e.result = r.Value
 		e.specVal = true
+		c.markExecuting(e)
 		c.cnt.loadSpec.Inc()
 	case core.LoadMiss:
 		e.issued = true
@@ -1064,7 +1388,7 @@ func (c *Core) dispatchOne(slot fetchSlot) {
 		e = c.entryPool[n-1]
 		c.entryPool[n-1] = nil
 		c.entryPool = c.entryPool[:n-1]
-		*e = entry{}
+		*e = entry{} // freeEntry already released the wakeup chunks
 	} else {
 		e = &entry{}
 	}
@@ -1090,6 +1414,7 @@ func (c *Core) dispatchOne(slot fetchSlot) {
 			} else {
 				e.srcProd[i] = p.seq
 				e.pendingSrcs++
+				c.addConsumer(p, e, int8(i))
 			}
 		} else {
 			e.src[i] = c.regs[r]
@@ -1098,6 +1423,7 @@ func (c *Core) dispatchOne(slot fetchSlot) {
 	}
 	if e.isStore {
 		c.storesInFlight++
+		c.lsqUnresolved++ // address unknown until issue resolves it
 	}
 	if rd, ok := slot.ins.WritesReg(); ok {
 		c.regProd[rd] = e
@@ -1124,7 +1450,9 @@ func (c *Core) dispatchOne(slot fetchSlot) {
 		c.ruu = c.ruuBuf[:n]
 	}
 	c.ruu = append(c.ruu, e)
-	c.bySeq[e.seq] = e
+	if e.pendingSrcs == 0 || (e.needsAddr && e.srcReady[0]) {
+		c.enqueueReady(e) // actionable at dispatch; seq-order append
+	}
 }
 
 func (c *Core) fetch() {
@@ -1169,15 +1497,14 @@ func (c *Core) fetch() {
 // LoadDone implements core.Client.
 func (c *Core) LoadDone(seq uint64, value uint64) {
 	c.horizonValid = false
-	e, ok := c.bySeq[seq]
-	if !ok || !e.memSent || e.done {
+	e := c.entryBySeq(seq)
+	if e == nil || !e.memSent || e.done {
 		return // squashed or stale
 	}
 	e.result = value
-	e.executing = true
-	c.numExecuting++
 	e.doneAt = c.now
 	e.memSent = false
+	c.markExecuting(e)
 }
 
 // LoadsVerified implements core.Client: LVP predictions confirmed;
@@ -1185,7 +1512,7 @@ func (c *Core) LoadDone(seq uint64, value uint64) {
 func (c *Core) LoadsVerified(seqs []uint64) {
 	c.horizonValid = false
 	for _, s := range seqs {
-		if e, ok := c.bySeq[s]; ok {
+		if e := c.entryBySeq(s); e != nil {
 			e.specVal = false
 		}
 	}
@@ -1201,7 +1528,7 @@ func (c *Core) SquashSpec(seqs []uint64) {
 	var oldest uint64
 	found := false
 	for _, s := range seqs {
-		if _, ok := c.bySeq[s]; ok && (!found || s < oldest) {
+		if c.entryBySeq(s) != nil && (!found || s < oldest) {
 			oldest = s
 			found = true
 		}
@@ -1216,19 +1543,18 @@ func (c *Core) SquashSpec(seqs []uint64) {
 // SCDone implements core.Client.
 func (c *Core) SCDone(seq uint64, success bool) {
 	c.horizonValid = false
-	e, ok := c.bySeq[seq]
-	if !ok || !e.scSent {
+	e := c.entryBySeq(seq)
+	if e == nil || !e.scSent {
 		return
 	}
 	e.scDone = true
-	e.executing = true
-	c.numExecuting++
 	e.doneAt = c.now
 	if success {
 		e.result = 1
 	} else {
 		e.result = 0
 	}
+	c.markExecuting(e)
 }
 
 // ExternalSnoop implements core.Client: routed to the SLE engine for

@@ -75,6 +75,7 @@ func (f *fakeMem) StoreBufEmpty() bool                 { return true }
 func (f *fakeMem) StoreBufFull() bool                  { return false }
 func (f *fakeMem) PeekLoad(addr uint64) core.LoadProbe { return core.LoadProbeActive }
 func (f *fakeMem) StateVersion() uint64                { return 0 }
+func (f *fakeMem) EarliestFill() (uint64, bool)        { return 0, false }
 func (f *fakeMem) SLECommitStores(st []core.SpecStore) bool {
 	if !f.sleWritable {
 		return false

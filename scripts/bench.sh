@@ -7,6 +7,8 @@
 #                         idle-heavy workload, fast-forward on (default path)
 #   ns_per_sim_cycle_noff same machine, naive every-cycle loop: the ratio
 #                         is the next-event fast-forward speedup
+#   ns_per_sim_cycle_tpcb compute-bound workload (tpc-b, skip fraction ~0.01):
+#                         tracks the active-cycle path fast-forward can't help
 #   fastforward_skip_fraction  skipped / total sim cycles (deterministic;
 #                         a collapse means quiescence detection broke)
 #   allocs_per_sim_cycle  steady-state heap allocations per cycle (must stay 0)
@@ -70,7 +72,7 @@ fi
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
-go test -run '^$' -bench '^BenchmarkSimulatorThroughput(NoFF)?$' \
+go test -run '^$' -bench '^BenchmarkSimulatorThroughput(NoFF|TPCB)?$' \
     -benchtime "$BENCHTIME" -count 5 . | tee "$raw"
 if [ "$SHORT" = 0 ]; then
     go test -run '^$' -bench '^BenchmarkFig7_Parallel$' \
