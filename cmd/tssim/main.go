@@ -13,6 +13,8 @@ import (
 	"os"
 	"strings"
 
+	"tssim/internal/check"
+	"tssim/internal/checkrun"
 	"tssim/internal/prof"
 	"tssim/internal/sim"
 	"tssim/internal/telemetry"
@@ -41,6 +43,57 @@ func parseTech(s string) (sim.Techniques, error) {
 		}
 	}
 	return t, nil
+}
+
+// litmusShapeMain runs one litmus shape from the library on the tiny
+// litmus machine with both checkers attached. Without -enumerate it
+// is a single run under the chosen -tech (and kernel path), printing
+// the observed outcome against the TSO model's allowed set. With
+// -enumerate it sweeps the exhaustive schedule-perturbation grid —
+// per-CPU start offsets and delays, bus arbitration rotation, all
+// nine technique combos, both kernel paths — and compares reachable
+// vs allowed outcomes in both directions: an outcome outside the set
+// is a coherence bug (exit 1), an allowed-but-unreached outcome is
+// reported as a coverage gap.
+func litmusShapeMain(name string, enumerate bool, tech sim.Techniques, noFF bool) int {
+	s := check.ShapeByName(name)
+	if s == nil {
+		fmt.Fprintf(os.Stderr, "unknown shape %q; have: %s\n", name, strings.Join(check.ShapeNames(), " "))
+		return 2
+	}
+	if !enumerate {
+		v := check.Variant{
+			Offsets: make([]uint64, s.CPUs()),
+			Delays:  make([]int, s.CPUs()),
+			Combo:   tech.String(),
+			NoFF:    noFF,
+			Seed:    1,
+		}
+		oc, err := checkrun.RunShapeVariant(s, v)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("shape %s (%s)\nunder %s: observed %s\nallowed: %v\n", s.Name, s.Doc, tech, oc, s.AllowedList())
+		if !s.Allowed()[oc] {
+			fmt.Println("VIOLATION: outcome outside the allowed set")
+			return 1
+		}
+		return 0
+	}
+	knobs := check.DefaultKnobs(checkrun.ComboLabels())
+	if s.CPUs() > 2 {
+		// The per-CPU axes are exponential in CPU count; trim them so
+		// the 4-core IRIW shapes stay tractable.
+		knobs.Offsets = []uint64{0, 320}
+		knobs.ArbStarts = []int{0}
+	}
+	rep := check.Enumerate(s, knobs, checkrun.RunShapeVariant)
+	fmt.Print(rep)
+	if !rep.OK() {
+		return 1
+	}
+	return 0
 }
 
 // newTracer opens path and builds a Tracer streaming to it in the
@@ -87,15 +140,18 @@ func runSingle(cfg sim.Config, w sim.Workload, tel *telemetry.Collector) sim.Res
 
 func main() {
 	var (
-		name    = flag.String("workload", "tpc-b", "workload: "+strings.Join(workload.Names(), "|"))
-		techStr = flag.String("tech", "baseline", "technique combo, e.g. emesti+lvp")
-		cpus    = flag.Int("cpus", 4, "number of CPUs")
-		scale   = flag.Int("scale", 1, "workload scale factor")
-		seeds   = flag.Int("seeds", 1, "runs with latency jitter (CI when > 1)")
-		jobs    = flag.Int("j", 0, "concurrent runs for -seeds > 1 (0 = GOMAXPROCS)")
-		verbose = flag.Bool("verbose", false, "dump all event counters and histograms")
-		check   = flag.Bool("check", false, "attach the coherence invariant checker (and the in-order commit checker)")
-		noFF    = flag.Bool("no-fastforward", false, "disable next-event fast-forward and tick every cycle (bit-identical; debugging escape hatch)")
+		name      = flag.String("workload", "tpc-b", "workload: "+strings.Join(workload.Names(), "|"))
+		techStr   = flag.String("tech", "baseline", "technique combo, e.g. emesti+lvp")
+		cpus      = flag.Int("cpus", 4, "number of CPUs")
+		scale     = flag.Int("scale", 1, "workload scale factor")
+		seeds     = flag.Int("seeds", 1, "runs with latency jitter (CI when > 1)")
+		jobs      = flag.Int("j", 0, "concurrent runs for -seeds > 1 (0 = GOMAXPROCS)")
+		verbose   = flag.Bool("verbose", false, "dump all event counters and histograms")
+		checkFlag = flag.Bool("check", false, "attach the coherence invariant checker (and the in-order commit checker)")
+		noFF      = flag.Bool("no-fastforward", false, "disable next-event fast-forward and tick every cycle (bit-identical; debugging escape hatch)")
+
+		litmusShape = flag.String("litmus-shape", "", "run one memory-model litmus shape instead of a workload: "+strings.Join(check.ShapeNames(), "|"))
+		enumerate   = flag.Bool("enumerate", false, "with -litmus-shape: exhaustively sweep the schedule-perturbation grid (all combos, both kernel paths) and compare reachable vs TSO-allowed outcomes")
 
 		tracePath   = flag.String("trace", "", "write a coherence event trace to this file")
 		traceFormat = flag.String("trace-format", "jsonl", "trace format: jsonl|chrome (chrome loads in Perfetto)")
@@ -142,6 +198,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if *litmusShape != "" {
+		os.Exit(litmusShapeMain(*litmusShape, *enumerate, tech, *noFF))
+	}
+	if *enumerate {
+		fmt.Fprintln(os.Stderr, "-enumerate requires -litmus-shape")
+		os.Exit(2)
+	}
 	w, err := workload.ByName(*name, workload.Params{CPUs: *cpus, Scale: *scale, UnsafeISyncEvery: 3})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -150,8 +213,8 @@ func main() {
 	cfg := sim.ExperimentConfig()
 	cfg.CPUs = *cpus
 	cfg.Tech = tech
-	cfg.Check = *check
-	cfg.CheckCommits = *check
+	cfg.Check = *checkFlag
+	cfg.CheckCommits = *checkFlag
 	cfg.NoFastForward = *noFF
 
 	if *seeds > 1 {

@@ -144,6 +144,14 @@ type Config struct {
 	// and contended LL/SC sequences never complete. 0 takes the
 	// default; use -1 to disable.
 	FillHold int
+
+	// ArbStart rotates the initial round-robin arbitration pointer:
+	// the first contended grant favors node ArbStart mod N instead of
+	// node 0. It is a deterministic schedule-perturbation knob — the
+	// litmus enumeration mode sweeps it to reorder same-cycle rival
+	// requests without touching any latency — and has no effect on an
+	// uncontended bus. Negative values are treated as 0.
+	ArbStart int
 }
 
 // DefaultConfig mirrors the paper's Table 1 interconnect: address
@@ -183,6 +191,9 @@ func (c Config) withDefaults() Config {
 		c.FillHold = d.FillHold
 	} else if c.FillHold < 0 {
 		c.FillHold = 0
+	}
+	if c.ArbStart < 0 {
+		c.ArbStart = 0
 	}
 	return c
 }
@@ -275,7 +286,7 @@ func New(cfg Config, memory *mem.Memory, counters *stats.Counters, rng *rand.Ran
 	if c.JitterMax > 0 && rng == nil {
 		panic("bus: jitter requested without rng")
 	}
-	b := &Bus{cfg: c, memory: memory, rng: rng,
+	b := &Bus{cfg: c, memory: memory, rng: rng, rr: c.ArbStart,
 		cntC2C: counters.Counter("bus/data/c2c"),
 		cntMem: counters.Counter("bus/data/mem"),
 		hWait:  counters.Hist("lat/bus_wait"),

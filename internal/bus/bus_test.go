@@ -203,6 +203,44 @@ func TestRoundRobinFairness(t *testing.T) {
 	}
 }
 
+func TestArbStartRotatesFirstGrant(t *testing.T) {
+	// Three nodes request in the same cycle; the node favored by the
+	// first contended grant is ArbStart mod N, and subsequent grants
+	// continue round-robin from there. ArbStart is the enumeration
+	// mode's arbitration-rotation knob, so the mapping must be exact.
+	for arb := 0; arb < 5; arb++ {
+		cfg := fastCfg()
+		cfg.ArbStart = arb
+		b, ports, _, _ := testBus(3, cfg)
+		for i := 0; i < 3; i++ {
+			b.Request(&Txn{Type: TxnUpgrade, Addr: uint64(0x1000 * (i + 1)), Src: i})
+		}
+		run(b, 0, 4) // grants at cycles 0, 2, 4 under occupancy 2
+		grantCycle := func(node int) uint64 {
+			if len(ports[node].granted) != 1 {
+				t.Fatalf("arb=%d: node %d granted %d times", arb, node, len(ports[node].granted))
+			}
+			return ports[node].granted[0].doneAt // doneAt = grant + AddrLatency for upgrades
+		}
+		first := arb % 3
+		for k := 0; k < 3; k++ {
+			node := (first + k) % 3
+			want := uint64(2*k) + uint64(fastCfg().AddrLatency)
+			if got := grantCycle(node); got != want {
+				t.Fatalf("arb=%d: node %d doneAt = %d, want %d", arb, node, got, want)
+			}
+		}
+	}
+}
+
+func TestArbStartNegativeNormalizes(t *testing.T) {
+	cfg := fastCfg()
+	cfg.ArbStart = -3
+	if got := cfg.withDefaults().ArbStart; got != 0 {
+		t.Fatalf("negative ArbStart normalized to %d, want 0", got)
+	}
+}
+
 func TestDataNetworkOccupancyContends(t *testing.T) {
 	cfg := fastCfg() // data occupancy 3, mem latency 10, addr occ 2
 	b, ports, _, _ := testBus(2, cfg)

@@ -5,6 +5,7 @@ import (
 
 	"tssim/internal/cache"
 	"tssim/internal/check"
+	"tssim/internal/checkrun"
 	"tssim/internal/core"
 	"tssim/internal/sim"
 	"tssim/internal/workload"
@@ -80,7 +81,7 @@ func TestCheckerPureObserver(t *testing.T) {
 func TestCheckerDetectsCorruption(t *testing.T) {
 	p := check.LitmusParams{Seed: 0x5eed, CPUs: 4, Ops: 32}
 	w, _ := check.Litmus(p)
-	cfg := litmusConfig(fullTech(), len(w.Programs), 1)
+	cfg := checkrun.MachineConfig(fullTech(), len(w.Programs), 1)
 	s := sim.New(cfg, w)
 
 	// Run until some node holds a readable line with data, then flip

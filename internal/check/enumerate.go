@@ -1,0 +1,236 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"tssim/internal/isa"
+)
+
+// Exhaustive small-state model checking: run a litmus shape under
+// every point of a deterministic schedule-perturbation grid and
+// compare the reachable outcomes against the TSO model's allowed set
+// in both directions. An outcome outside the allowed set is a
+// coherence/consistency bug in the simulator; an allowed outcome the
+// grid never reaches is reported as a coverage gap (the schedule
+// knobs are not fine enough to exhibit it — a test-quality signal,
+// not a correctness failure).
+//
+// The grid axes are exactly the deterministic knobs the simulator
+// exposes: per-CPU start-cycle offsets (sim.Config.StartOffsets),
+// per-CPU serialized delays spliced into the shape before its last
+// memory op (Shape.Programs), the initial bus arbitration pointer
+// (bus.Config.ArbStart), the technique combo, the kernel path
+// (fast-forward vs naive), and the machine jitter seed. This package
+// cannot import sim (sim imports check for the coherence checker), so
+// the actual machine run is a callback; internal/checkrun provides
+// the standard adapter.
+
+// Variant is one point of the perturbation grid.
+type Variant struct {
+	Offsets  []uint64 // per-CPU start-cycle offsets
+	Delays   []int    // per-CPU delay before the CPU's last memory op
+	ArbStart int      // initial bus round-robin pointer
+	Combo    string   // technique combo label (sim.Techniques.String())
+	NoFF     bool     // true: naive every-cycle kernel; false: fast-forward
+	Seed     uint64   // machine jitter seed
+}
+
+func (v Variant) String() string {
+	path := "ff"
+	if v.NoFF {
+		path = "noff"
+	}
+	return fmt.Sprintf("off=%v dly=%v arb=%d tech=%s path=%s seed=%d",
+		v.Offsets, v.Delays, v.ArbStart, v.Combo, path, v.Seed)
+}
+
+// Knobs spans the grid: per-CPU axes (Offsets, Delays) take every
+// n-tuple over their value lists, the rest combine as a plain cross
+// product.
+type Knobs struct {
+	Offsets   []uint64
+	Delays    []int
+	ArbStarts []int
+	Combos    []string
+	BothPaths bool // run every point on both kernel paths
+	Seeds     []uint64
+}
+
+// DefaultKnobs is the grid the acceptance tests and the CI
+// enumeration step sweep for 2-core shapes: 3 start offsets and 2
+// delays per CPU, 2 arbitration rotations — 9*4*2 = 72 schedules per
+// combo/path/seed. Offsets 0/320/760 and delay 500 are chosen against
+// the litmus machine's latencies (address 20, memory 60, c2c 40) to
+// land before, inside, and after a remote CPU's first miss service.
+func DefaultKnobs(combos []string) Knobs {
+	return Knobs{
+		Offsets:   []uint64{0, 320, 760},
+		Delays:    []int{0, 500},
+		ArbStarts: []int{0, 1},
+		Combos:    combos,
+		BothPaths: true,
+		Seeds:     []uint64{1},
+	}
+}
+
+// RunFunc executes a shape's rendered programs under one variant on
+// the real machine and returns the observed outcome tuple. It should
+// return an error for any run-level failure (coherence checker fired,
+// watchdog tripped, final memory mismatch); such failures are
+// reported as violations pinned to the variant.
+type RunFunc func(s *Shape, v Variant) (isa.Outcome, error)
+
+// Violation is a run whose result the oracle rejects: either the
+// outcome is outside the allowed set, or the run itself failed.
+type Violation struct {
+	Variant Variant
+	Outcome isa.Outcome // zero-width if the run errored before observing
+	Err     error       // non-nil for run-level failures
+}
+
+func (v Violation) String() string {
+	if v.Err != nil {
+		return fmt.Sprintf("%s: run failed: %v", v.Variant, v.Err)
+	}
+	return fmt.Sprintf("%s: outcome %s outside allowed set", v.Variant, v.Outcome)
+}
+
+// EnumReport is the two-directional comparison of reachable vs
+// allowed outcomes across the grid.
+type EnumReport struct {
+	Shape      string
+	Runs       int
+	Allowed    []isa.Outcome           // model-allowed, deterministic order
+	Reached    map[isa.Outcome]int     // allowed outcome -> times observed
+	FirstSeen  map[isa.Outcome]Variant // first grid point that produced it
+	Gaps       []isa.Outcome           // allowed but never observed
+	Violations []Violation             // observed but not allowed, or failed runs
+}
+
+// OK reports whether no run produced a forbidden outcome or failed.
+// Coverage gaps do not make a report not-OK.
+func (r *EnumReport) OK() bool { return len(r.Violations) == 0 }
+
+// Coverage returns reached-vs-allowed outcome counts.
+func (r *EnumReport) Coverage() (reached, allowed int) {
+	return len(r.Reached), len(r.Allowed)
+}
+
+func (r *EnumReport) String() string {
+	var b strings.Builder
+	reached, allowed := r.Coverage()
+	fmt.Fprintf(&b, "shape %s: %d runs, %d/%d allowed outcomes reached, %d violations\n",
+		r.Shape, r.Runs, reached, allowed, len(r.Violations))
+	for _, oc := range r.Allowed {
+		if n := r.Reached[oc]; n > 0 {
+			fmt.Fprintf(&b, "  reached %s  %d times, first at %s\n", oc, n, r.FirstSeen[oc])
+		} else {
+			fmt.Fprintf(&b, "  GAP     %s  never observed\n", oc)
+		}
+	}
+	const maxShown = 10
+	for i, v := range r.Violations {
+		if i == maxShown {
+			fmt.Fprintf(&b, "  ... %d more violations\n", len(r.Violations)-maxShown)
+			break
+		}
+		fmt.Fprintf(&b, "  VIOLATION %s\n", v)
+	}
+	return b.String()
+}
+
+// Enumerate sweeps the full grid for one shape, calling run at every
+// point, and classifies every observation. Iteration order is
+// deterministic (offsets, delays, arb, combo, path, seed — outermost
+// first), so FirstSeen variants are stable run to run.
+func Enumerate(s *Shape, k Knobs, run RunFunc) *EnumReport {
+	rep := &EnumReport{
+		Shape:     s.Name,
+		Allowed:   s.AllowedList(),
+		Reached:   map[isa.Outcome]int{},
+		FirstSeen: map[isa.Outcome]Variant{},
+	}
+	allowed := s.Allowed()
+	paths := []bool{false}
+	if k.BothPaths {
+		paths = []bool{false, true}
+	}
+	arbs := k.ArbStarts
+	if len(arbs) == 0 {
+		arbs = []int{0}
+	}
+	seeds := k.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{1}
+	}
+	for _, offs := range tuples(k.Offsets, s.CPUs(), []uint64{0}) {
+		for _, dls := range tuples(k.Delays, s.CPUs(), []int{0}) {
+			for _, arb := range arbs {
+				for _, combo := range k.Combos {
+					for _, noFF := range paths {
+						for _, seed := range seeds {
+							v := Variant{
+								Offsets: offs, Delays: dls, ArbStart: arb,
+								Combo: combo, NoFF: noFF, Seed: seed,
+							}
+							rep.Runs++
+							oc, err := run(s, v)
+							if err != nil {
+								rep.Violations = append(rep.Violations, Violation{Variant: v, Err: err})
+								continue
+							}
+							if !allowed[oc] {
+								rep.Violations = append(rep.Violations, Violation{Variant: v, Outcome: oc})
+								continue
+							}
+							if rep.Reached[oc] == 0 {
+								rep.FirstSeen[oc] = v
+							}
+							rep.Reached[oc]++
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, oc := range rep.Allowed {
+		if rep.Reached[oc] == 0 {
+			rep.Gaps = append(rep.Gaps, oc)
+		}
+	}
+	return rep
+}
+
+// tuples returns every n-tuple over vals in lexicographic order
+// (first position outermost). An empty axis collapses to the single
+// all-default tuple.
+func tuples[T any](vals []T, n int, def []T) [][]T {
+	if len(vals) == 0 {
+		vals = def
+	}
+	total := 1
+	for i := 0; i < n; i++ {
+		total *= len(vals)
+	}
+	out := make([][]T, 0, total)
+	idx := make([]int, n)
+	for {
+		t := make([]T, n)
+		for i, j := range idx {
+			t[i] = vals[j]
+		}
+		out = append(out, t)
+		p := n - 1
+		for ; p >= 0; p-- {
+			idx[p]++
+			if idx[p] < len(vals) {
+				break
+			}
+			idx[p] = 0
+		}
+		if p < 0 {
+			return out
+		}
+	}
+}

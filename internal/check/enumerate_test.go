@@ -1,0 +1,108 @@
+package check
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"tssim/internal/isa"
+)
+
+// Enumeration engine unit tests drive Enumerate with scripted
+// RunFuncs — the real machine adapter lives in internal/checkrun and
+// has its own acceptance tests.
+
+func TestEnumerateGridAndClassification(t *testing.T) {
+	sb := ShapeByName("SB")
+	k := Knobs{
+		Offsets:   []uint64{0, 100},
+		ArbStarts: []int{0},
+		Combos:    []string{"base"},
+		BothPaths: true,
+	}
+	// 2 CPUs: offsets 2^2=4, delays default 1, arb 1, combo 1, paths 2.
+	wantRuns := 8
+
+	var calls []Variant
+	rep := Enumerate(sb, k, func(s *Shape, v Variant) (isa.Outcome, error) {
+		calls = append(calls, v)
+		return o(0, 0), nil
+	})
+	if rep.Runs != wantRuns || len(calls) != wantRuns {
+		t.Fatalf("runs = %d (calls %d), want %d", rep.Runs, len(calls), wantRuns)
+	}
+	if !rep.OK() {
+		t.Fatalf("unexpected violations: %v", rep.Violations)
+	}
+	reached, allowed := rep.Coverage()
+	if reached != 1 || allowed != 4 {
+		t.Fatalf("coverage = %d/%d, want 1/4", reached, allowed)
+	}
+	if len(rep.Gaps) != 3 {
+		t.Fatalf("gaps = %v, want the 3 unobserved outcomes", rep.Gaps)
+	}
+	if rep.Reached[o(0, 0)] != wantRuns {
+		t.Fatalf("reached count = %d, want %d", rep.Reached[o(0, 0)], wantRuns)
+	}
+	// FirstSeen pins the deterministic first grid point.
+	first := rep.FirstSeen[o(0, 0)]
+	if first.Offsets[0] != 0 || first.Offsets[1] != 0 || first.NoFF {
+		t.Fatalf("first seen at %s, want the all-zero ff point", first)
+	}
+	// Both kernel paths were actually swept.
+	ff, noff := 0, 0
+	for _, v := range calls {
+		if v.NoFF {
+			noff++
+		} else {
+			ff++
+		}
+	}
+	if ff != wantRuns/2 || noff != wantRuns/2 {
+		t.Fatalf("path split ff=%d noff=%d", ff, noff)
+	}
+}
+
+func TestEnumerateFlagsViolations(t *testing.T) {
+	sb := ShapeByName("SB")
+	k := Knobs{Combos: []string{"base"}}
+	bad := errors.New("checker fired")
+	rep := Enumerate(sb, k, func(s *Shape, v Variant) (isa.Outcome, error) {
+		return isa.Outcome{}, bad
+	})
+	if rep.OK() || len(rep.Violations) != rep.Runs {
+		t.Fatalf("expected every run to violate, got %d/%d", len(rep.Violations), rep.Runs)
+	}
+	if !errors.Is(rep.Violations[0].Err, bad) {
+		t.Fatalf("violation error = %v", rep.Violations[0].Err)
+	}
+
+	// An outcome outside the allowed set is a violation even though
+	// the run succeeded.
+	rep = Enumerate(sb, k, func(s *Shape, v Variant) (isa.Outcome, error) {
+		return o(7, 7), nil
+	})
+	if rep.OK() {
+		t.Fatal("forbidden outcome not flagged")
+	}
+	if rep.Violations[0].Outcome != o(7, 7) {
+		t.Fatalf("violation outcome = %v", rep.Violations[0].Outcome)
+	}
+	if !strings.Contains(rep.String(), "VIOLATION") || !strings.Contains(rep.String(), "GAP") {
+		t.Fatalf("report rendering missing sections:\n%s", rep.String())
+	}
+}
+
+func TestEnumerateReportString(t *testing.T) {
+	mp := ShapeByName("MP")
+	k := Knobs{Combos: []string{"base"}}
+	rep := Enumerate(mp, k, func(s *Shape, v Variant) (isa.Outcome, error) {
+		return o(1, 1), nil
+	})
+	out := rep.String()
+	for _, want := range []string{"shape MP", "1/3 allowed outcomes", "reached (1,1)", "GAP     (0,0)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -12,6 +12,7 @@ package check
 
 import (
 	"fmt"
+	"strings"
 
 	"tssim/internal/isa"
 	"tssim/internal/mem"
@@ -63,6 +64,58 @@ func (p LitmusParams) normalized() LitmusParams {
 func (p LitmusParams) String() string {
 	p = p.normalized()
 	return fmt.Sprintf("seed=%#x cpus=%d ops=%d", p.Seed, p.CPUs, p.Ops)
+}
+
+// Repro pins a litmus failure to the exact run that produced it: the
+// program params plus, when known, the technique combo and kernel
+// path that failed. The zero Tech means "sweep everything" — the form
+// the corpus uses for programs that regressed broadly. String and
+// ParseRepro round-trip, and ParseRepro still accepts the historical
+// bare "seed=… cpus=… ops=…" form.
+type Repro struct {
+	Params        LitmusParams
+	Tech          string // technique combo label (sim.Techniques.String()); "" = all combos
+	NoFastForward bool   // true: failure was on the naive kernel path
+}
+
+func (r Repro) String() string {
+	s := r.Params.String()
+	if r.Tech != "" {
+		s += " tech=" + r.Tech
+		if r.NoFastForward {
+			s += " path=noff"
+		} else {
+			s += " path=ff"
+		}
+	}
+	return s
+}
+
+// ParseRepro parses a replay line as printed by Repro.String (or the
+// bare LitmusParams.String form).
+func ParseRepro(s string) (Repro, error) {
+	var r Repro
+	f := strings.Fields(strings.TrimSpace(s))
+	if len(f) < 3 {
+		return r, fmt.Errorf("repro %q: want at least seed=… cpus=… ops=…", s)
+	}
+	if _, err := fmt.Sscanf(strings.Join(f[:3], " "), "seed=0x%x cpus=%d ops=%d",
+		&r.Params.Seed, &r.Params.CPUs, &r.Params.Ops); err != nil {
+		return r, fmt.Errorf("repro %q: %v", s, err)
+	}
+	for _, tok := range f[3:] {
+		switch {
+		case strings.HasPrefix(tok, "tech="):
+			r.Tech = strings.TrimPrefix(tok, "tech=")
+		case tok == "path=ff":
+			r.NoFastForward = false
+		case tok == "path=noff":
+			r.NoFastForward = true
+		default:
+			return r, fmt.Errorf("repro %q: unrecognized token %q", s, tok)
+		}
+	}
+	return r, nil
 }
 
 // litmusRNG is a splitmix64 stream; the generator draws every choice

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"tssim/internal/check"
+	"tssim/internal/checkrun"
 	"tssim/internal/sim"
 )
 
@@ -24,7 +25,7 @@ func litmusBothPaths(p check.LitmusParams, tech sim.Techniques) error {
 	}
 	run := func(noFF bool) outcome {
 		w, expected := check.Litmus(p)
-		cfg := litmusConfig(tech, len(w.Programs), int64(p.Seed))
+		cfg := checkrun.MachineConfig(tech, len(w.Programs), int64(p.Seed))
 		cfg.NoFastForward = noFF
 		s := sim.New(cfg, w)
 		r, err := s.RunErr(w)

@@ -3,92 +3,109 @@ package check_test
 import (
 	"flag"
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
-	"tssim/internal/bus"
-	"tssim/internal/cache"
 	"tssim/internal/check"
+	"tssim/internal/checkrun"
 	"tssim/internal/sim"
 )
 
 // litmusReplay re-runs one failing program printed by the fuzz
 // shrinker: go test ./internal/check -run TestLitmusReplay
-// -litmus.replay "seed=0x1234 cpus=2 ops=7"
-var litmusReplay = flag.String("litmus.replay", "", "replay one litmus program (format: seed=0x… cpus=N ops=M)")
+// -litmus.replay "seed=0x1234 cpus=2 ops=7 tech=E-MESTI path=noff"
+// (the tech/path fields are optional; without them every combo runs).
+var litmusReplay = flag.String("litmus.replay", "", "replay one litmus program (format: seed=0x… cpus=N ops=M [tech=COMBO path=ff|noff])")
 
-// litmusConfig is the litmus machine: deliberately tiny caches and
-// small structural limits so eviction, writeback, MSHR exhaustion, and
-// store-buffer pressure all happen within a few thousand cycles, and a
-// fast interconnect so a fuzz iteration finishes quickly. The
-// coherence checker and the in-order commit checker are both on.
-func litmusConfig(tech sim.Techniques, cpus int, seed int64) sim.Config {
-	cfg := sim.DefaultConfig()
-	cfg.CPUs = cpus
-	cfg.Tech = tech
-	cfg.Seed = seed
-	cfg.Node.L1 = cache.Config{SizeBytes: 512, Assoc: 2}
-	cfg.Node.L2 = cache.Config{SizeBytes: 2 * 1024, Assoc: 4}
-	cfg.Node.MSHRs = 4
-	cfg.Node.StoreBuf = 4
-	cfg.Bus = bus.Config{
-		AddrLatency:   20,
-		AddrOccupancy: 2,
-		MemLatency:    60,
-		C2CLatency:    40,
-		DataOccupancy: 4,
-		JitterMax:     int(uint64(seed)%5) + 1,
+// runLitmusOne runs one litmus program under one technique combo and
+// kernel path on the litmus machine (checkrun.MachineConfig: tiny
+// caches, both checkers on) and returns the observed finals.
+func runLitmusOne(p check.LitmusParams, tech sim.Techniques, noFF bool) (map[uint64]uint64, error) {
+	w, expected := check.Litmus(p)
+	cfg := checkrun.MachineConfig(tech, len(w.Programs), int64(p.Seed))
+	cfg.NoFastForward = noFF
+	s := sim.New(cfg, w)
+	if _, err := s.RunErr(w); err != nil {
+		return nil, err
 	}
-	cfg.MaxCycles = 3_000_000
-	cfg.NoProgressCycles = 400_000
-	cfg.Check = true
-	cfg.CheckCommits = true
-	cfg.CheckSweepEvery = 64
-	return cfg
+	finals := make(map[uint64]uint64, len(expected))
+	for a := range expected {
+		finals[a] = s.ReadWordCoherent(a)
+	}
+	return finals, nil
+}
+
+// litmusPaths returns the kernel paths to sweep for a combo: the
+// fast-forward path always, plus the naive every-cycle path for the
+// bookend combos (baseline and the full stack), so each fuzz
+// iteration also differentially covers the kernel without doubling
+// the whole sweep.
+func litmusPaths(tech sim.Techniques) []bool {
+	if s := tech.String(); s == "Baseline" || s == "E-MESTI+LVP+SLE" {
+		return []bool{false, true}
+	}
+	return []bool{false}
 }
 
 // runLitmusAll runs one litmus program under every technique combo of
-// Figure 7 with the coherence checker attached, validates each run's
-// finals against the closed-form expectation, and differentially
-// compares every combo's finals against the baseline's. Any run error
-// (checker violation, deadlock, validation failure) or cross-combo
-// divergence is returned.
-func runLitmusAll(p check.LitmusParams) error {
+// Figure 7 (and both kernel paths for the bookend combos) with the
+// coherence checker attached, validates each run's finals against the
+// closed-form expectation, and differentially compares every run's
+// finals against the first run's. On failure the returned Repro pins
+// the exact combo and path that diverged.
+func runLitmusAll(p check.LitmusParams) (check.Repro, error) {
 	var baseline map[uint64]uint64
 	for _, tech := range sim.AllCombos() {
-		w, expected := check.Litmus(p)
-		cfg := litmusConfig(tech, len(w.Programs), int64(p.Seed))
-		s := sim.New(cfg, w)
-		if _, err := s.RunErr(w); err != nil {
-			return fmt.Errorf("%s under %s: %w", p, tech, err)
-		}
-		finals := make(map[uint64]uint64, len(expected))
-		for a := range expected {
-			finals[a] = s.ReadWordCoherent(a)
-		}
-		if baseline == nil {
-			baseline = finals
-			continue
-		}
-		for a, v := range finals {
-			if bv := baseline[a]; v != bv {
-				return fmt.Errorf("%s under %s: final @%#x = %#x diverges from baseline %#x",
-					p, tech, a, v, bv)
+		for _, noFF := range litmusPaths(tech) {
+			repro := check.Repro{Params: p, Tech: tech.String(), NoFastForward: noFF}
+			finals, err := runLitmusOne(p, tech, noFF)
+			if err != nil {
+				return repro, fmt.Errorf("%s: %w", repro, err)
+			}
+			if baseline == nil {
+				baseline = finals
+				continue
+			}
+			for a, v := range finals {
+				if bv := baseline[a]; v != bv {
+					return repro, fmt.Errorf("%s: final @%#x = %#x diverges from baseline %#x",
+						repro, a, v, bv)
+				}
 			}
 		}
 	}
-	return nil
+	return check.Repro{Params: p}, nil
+}
+
+// runLitmusRepro replays one Repro: the pinned combo/path when the
+// repro names one, the full sweep otherwise.
+func runLitmusRepro(r check.Repro) error {
+	if r.Tech == "" {
+		_, err := runLitmusAll(r.Params)
+		return err
+	}
+	tech, err := checkrun.TechByLabel(r.Tech)
+	if err != nil {
+		return err
+	}
+	_, err = runLitmusOne(r.Params, tech, r.NoFastForward)
+	return err
 }
 
 // reportLitmusFailure shrinks a failing program to its minimal
-// reproducer and fails the test with a replayable command line.
+// reproducer and fails the test with a replayable command line that
+// names the failing combo and kernel path.
 func reportLitmusFailure(t *testing.T, p check.LitmusParams, err error) {
 	t.Helper()
 	min := check.ShrinkLitmus(p, func(cand check.LitmusParams) bool {
-		return runLitmusAll(cand) != nil
+		_, err := runLitmusAll(cand)
+		return err != nil
 	})
-	minErr := runLitmusAll(min)
+	minRepro, minErr := runLitmusAll(min)
 	t.Fatalf("litmus failure: %v\nminimal reproducer: %v (%s)\nreplay with: go test ./internal/check -run TestLitmusReplay -litmus.replay %q",
-		err, minErr, min, min.String())
+		err, minErr, minRepro, minRepro.String())
 }
 
 // TestLitmusCorpus runs a fixed corpus of litmus programs — a breadth
@@ -117,10 +134,46 @@ func TestLitmusCorpus(t *testing.T) {
 		p := p
 		t.Run(p.String(), func(t *testing.T) {
 			t.Parallel()
-			if err := runLitmusAll(p); err != nil {
+			if _, err := runLitmusAll(p); err != nil {
 				reportLitmusFailure(t, p, err)
 			}
 		})
+	}
+}
+
+// TestLitmusCorpusFile replays the promoted fuzz corpus in
+// testdata/litmus_corpus.txt: every line is a shrunk reproducer in
+// -litmus.replay syntax, optionally pinned to the combo and kernel
+// path that originally failed. This is the file the fuzz failure
+// recipe tells you to append to, and it runs on every `go test`.
+func TestLitmusCorpusFile(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "litmus_corpus.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		r, err := check.ParseRepro(line)
+		if err != nil {
+			t.Fatalf("corpus line %q: %v", line, err)
+		}
+		n++
+		if testing.Short() && r.Tech == "" && r.Params.Ops > 8 {
+			continue // full-sweep lines dominate the cost; keep -short fast
+		}
+		t.Run(r.String(), func(t *testing.T) {
+			t.Parallel()
+			if err := runLitmusRepro(r); err != nil {
+				t.Fatalf("corpus regression %s: %v", r, err)
+			}
+		})
+	}
+	if n == 0 {
+		t.Fatal("corpus file has no entries")
 	}
 }
 
@@ -135,23 +188,25 @@ func FuzzLitmus(f *testing.F) {
 	f.Add(uint64(0x4242424242424242), uint8(4), uint8(16))
 	f.Fuzz(func(t *testing.T, seed uint64, cpus, ops uint8) {
 		p := check.LitmusParams{Seed: seed, CPUs: int(cpus), Ops: int(ops)}
-		if err := runLitmusAll(p); err != nil {
+		if _, err := runLitmusAll(p); err != nil {
 			reportLitmusFailure(t, p, err)
 		}
 	})
 }
 
 // TestLitmusReplay re-runs one program from the -litmus.replay flag;
-// it is the second half of the shrinker's reproducer recipe.
+// it is the second half of the shrinker's reproducer recipe. A repro
+// with tech=/path= fields replays exactly the pinned run; the bare
+// form sweeps every combo.
 func TestLitmusReplay(t *testing.T) {
 	if *litmusReplay == "" {
 		t.Skip("no -litmus.replay given")
 	}
-	var p check.LitmusParams
-	if _, err := fmt.Sscanf(*litmusReplay, "seed=0x%x cpus=%d ops=%d", &p.Seed, &p.CPUs, &p.Ops); err != nil {
-		t.Fatalf("cannot parse -litmus.replay %q: %v", *litmusReplay, err)
+	r, err := check.ParseRepro(*litmusReplay)
+	if err != nil {
+		t.Fatalf("cannot parse -litmus.replay: %v", err)
 	}
-	if err := runLitmusAll(p); err != nil {
-		t.Fatalf("replay %s: %v", p, err)
+	if err := runLitmusRepro(r); err != nil {
+		t.Fatalf("replay %s: %v", r, err)
 	}
 }

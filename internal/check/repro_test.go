@@ -1,0 +1,48 @@
+package check
+
+import "testing"
+
+func TestReproRoundTrip(t *testing.T) {
+	cases := []Repro{
+		{Params: LitmusParams{Seed: 0x1234, CPUs: 2, Ops: 7}},
+		{Params: LitmusParams{Seed: 0xdeadbeefcafef00d, CPUs: 4, Ops: 48}, Tech: "E-MESTI+LVP", NoFastForward: false},
+		{Params: LitmusParams{Seed: 1, CPUs: 3, Ops: 12}, Tech: "Baseline", NoFastForward: true},
+		{Params: LitmusParams{Seed: 0, CPUs: 2, Ops: 1}, Tech: "MESTI"},
+	}
+	for _, r := range cases {
+		// Params round-trip through normalization.
+		r.Params = r.Params.normalized()
+		got, err := ParseRepro(r.String())
+		if err != nil {
+			t.Fatalf("ParseRepro(%q): %v", r.String(), err)
+		}
+		if got != r {
+			t.Errorf("round trip: %q -> %+v, want %+v", r.String(), got, r)
+		}
+	}
+}
+
+func TestReproParseLegacyAndErrors(t *testing.T) {
+	// The historical bare form the old shrinker printed must parse.
+	r, err := ParseRepro("seed=0xbad5eed5 cpus=3 ops=48")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tech != "" || r.NoFastForward {
+		t.Fatalf("bare form should leave tech/path zero: %+v", r)
+	}
+	if r.Params.Seed != 0xbad5eed5 || r.Params.CPUs != 3 || r.Params.Ops != 48 {
+		t.Fatalf("params = %+v", r.Params)
+	}
+	for _, bad := range []string{
+		"",
+		"seed=0x1 cpus=2",
+		"seed=zz cpus=2 ops=3",
+		"seed=0x1 cpus=2 ops=3 bogus=1",
+		"seed=0x1 cpus=2 ops=3 path=sideways",
+	} {
+		if _, err := ParseRepro(bad); err == nil {
+			t.Errorf("ParseRepro(%q) should fail", bad)
+		}
+	}
+}

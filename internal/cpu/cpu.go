@@ -394,6 +394,15 @@ type Core struct {
 	halted  bool
 	retired uint64
 
+	// startAt gates the whole pipeline: the core performs no work
+	// before this cycle (fetch, dispatch, everything). It is the
+	// per-core start-offset schedule-perturbation knob the litmus
+	// enumeration mode sweeps; 0 (the default) is the historical
+	// behavior. The gate is fast-forward-exact: quiesce reports
+	// startAt as the horizon and the pre-start ticks are pure no-ops,
+	// so skipped and naive runs stay bit-identical.
+	startAt uint64
+
 	// Machine-wide aggregation hooks (see AttachMachine): bumped at
 	// the retirement event itself so the system's run loop never has
 	// to re-scan every core per cycle.
@@ -475,6 +484,14 @@ func (c *Core) SetMemSystem(m MemSystem) { c.memsys = m }
 
 // EnableChecker turns on in-order commit checking (tests).
 func (c *Core) EnableChecker() { c.checker = true }
+
+// SetStartCycle delays the core's first cycle of work: no fetch,
+// dispatch, or execution happens before cycle at. Must be called
+// before the first Tick. A deterministic schedule-perturbation knob
+// (sim.Config.StartOffsets): shifting one core's start re-times every
+// one of its memory accesses relative to its rivals without touching
+// any latency parameter.
+func (c *Core) SetStartCycle(at uint64) { c.startAt = at }
 
 // AttachMachine registers machine-wide aggregation targets: retired is
 // incremented once per committed instruction and halted once when this
@@ -636,7 +653,7 @@ func (c *Core) Tick(now uint64) {
 	}
 	c.horizonValid = false
 	c.now = now
-	if c.halted {
+	if c.halted || now < c.startAt {
 		return
 	}
 	c.commit()
@@ -679,6 +696,11 @@ func (c *Core) quiesce(now uint64) (next uint64, spin coreSpin) {
 	const never = ^uint64(0)
 	if c.halted {
 		return never, coreSpin{}
+	}
+	if now < c.startAt {
+		// Not yet started: the pre-start ticks are pure no-ops, so the
+		// horizon is exactly the start cycle with no spin effects.
+		return c.startAt, coreSpin{}
 	}
 	if c.sle != nil && c.sle.speculating() {
 		return now, coreSpin{} // sle.tick runs every cycle while a region is live

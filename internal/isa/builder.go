@@ -11,11 +11,12 @@ type Label int
 // to write synthetic programs: methods append instructions, labels
 // mark branch targets.
 type Builder struct {
-	name   string
-	code   []Instr
-	marks  []int // label -> pc (-1 while unplaced)
-	refs   []ref // pending branch fixups
-	macros int   // depth counter for error reporting only
+	name     string
+	code     []Instr
+	marks    []int // label -> pc (-1 while unplaced)
+	refs     []ref // pending branch fixups
+	macros   int   // depth counter for error reporting only
+	observed []ObsReg
 }
 
 type ref struct {
@@ -207,6 +208,35 @@ func (b *Builder) ISync(unsafe bool) *Builder {
 	return b.emit(Instr{Op: OpISync, Unsafe: unsafe})
 }
 
+// DelayVia emits a serialized delay of approximately the given number
+// of cycles as a dependence chain through register r, using the fewest
+// instructions (long-latency links, unlike Delay's one-cycle links).
+// Threading the chain through a live register — typically the address
+// register of the next memory op — guarantees an out-of-order core
+// cannot issue that op until the chain resolves, making the delay an
+// effective schedule-perturbation knob for litmus programs. The chain
+// links are architectural no-ops (r = r + 0), so a timing-free model
+// of the program is unaffected.
+func (b *Builder) DelayVia(r uint8, cycles int) *Builder {
+	for cycles > 0 {
+		step := cycles
+		if step > 256 {
+			step = 256
+		}
+		b.emit(Instr{Op: OpAddi, Rd: r, Ra: r, Imm: 0, Lat: uint8(step - 1)})
+		cycles -= step
+	}
+	return b
+}
+
+// Observe declares that the final committed value of reg belongs to
+// the litmus outcome tuple, under the given display label (see
+// isa.OutcomeOf). Declaration order is tuple order within this CPU.
+func (b *Builder) Observe(reg uint8, name string) *Builder {
+	b.observed = append(b.observed, ObsReg{Reg: reg, Name: name})
+	return b
+}
+
 // Halt terminates the program.
 func (b *Builder) Halt() *Builder { return b.emit(Instr{Op: OpHalt}) }
 
@@ -223,5 +253,7 @@ func (b *Builder) Build() *Program {
 	}
 	code := make([]Instr, len(b.code))
 	copy(code, b.code)
-	return &Program{Name: b.name, Code: code}
+	obs := make([]ObsReg, len(b.observed))
+	copy(obs, b.observed)
+	return &Program{Name: b.name, Code: code, Observed: obs}
 }

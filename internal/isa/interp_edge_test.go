@@ -1,0 +1,164 @@
+package isa
+
+import (
+	"testing"
+
+	"tssim/internal/mem"
+)
+
+// Table-driven interpreter edge cases around register observation of
+// load results — the foundation the litmus outcome tuples rely on. A
+// load's observed value must be identical whether it is sourced from
+// memory or from this CPU's own immediately preceding store (the case
+// the timing simulator serves by store-buffer/LSQ forwarding), and
+// back-to-back stores to the same word must leave exactly the last
+// value for both later loads and the final memory image.
+func TestInterpObservationEdgeCases(t *testing.T) {
+	const addr = 0x2000
+	cases := []struct {
+		name    string
+		build   func(b *Builder)
+		init    map[uint64]uint64
+		want    Outcome  // observed tuple after the run
+		wantMem uint64   // final value of addr
+		labels  []string // expected ObsNames
+	}{
+		{
+			name: "memory-sourced load",
+			build: func(b *Builder) {
+				b.Li(R1, addr).Ld(R2, R1, 0).Observe(R2, "P0:r2").Halt()
+			},
+			init:    map[uint64]uint64{addr: 91},
+			want:    Outcome{N: 1, V: [MaxOutcome]uint64{91}},
+			wantMem: 91,
+			labels:  []string{"P0:r2"},
+		},
+		{
+			name: "forwarded load observes own preceding store",
+			build: func(b *Builder) {
+				b.Li(R1, addr).Li(R2, 7).St(R2, R1, 0).Ld(R3, R1, 0).Observe(R3, "P0:r3").Halt()
+			},
+			init:    map[uint64]uint64{addr: 91},
+			want:    Outcome{N: 1, V: [MaxOutcome]uint64{7}},
+			wantMem: 7,
+			labels:  []string{"P0:r3"},
+		},
+		{
+			name: "back-to-back stores to the same word: last wins",
+			build: func(b *Builder) {
+				b.Li(R1, addr).Li(R2, 1).Li(R3, 2).
+					St(R2, R1, 0).St(R3, R1, 0).
+					Ld(R4, R1, 0).Observe(R4, "P0:r4").Halt()
+			},
+			want:    Outcome{N: 1, V: [MaxOutcome]uint64{2}},
+			wantMem: 2,
+			labels:  []string{"P0:r4"},
+		},
+		{
+			name: "exact-revert store pair restores the old value",
+			build: func(b *Builder) {
+				b.Li(R1, addr).Ld(R2, R1, 0).Addi(R3, R2, 1).
+					St(R3, R1, 0). // up
+					St(R2, R1, 0). // exact revert
+					Ld(R4, R1, 0).Observe(R4, "P0:r4").Halt()
+			},
+			init:    map[uint64]uint64{addr: 40},
+			want:    Outcome{N: 1, V: [MaxOutcome]uint64{40}},
+			wantMem: 40,
+			labels:  []string{"P0:r4"},
+		},
+		{
+			name: "two loads of the same word observe independently",
+			build: func(b *Builder) {
+				b.Li(R1, addr).Ld(R2, R1, 0).Li(R3, 5).St(R3, R1, 0).
+					Ld(R4, R1, 0).Observe(R2, "P0:r2").Observe(R4, "P0:r4").Halt()
+			},
+			init:    map[uint64]uint64{addr: 3},
+			want:    Outcome{N: 2, V: [MaxOutcome]uint64{3, 5}},
+			wantMem: 5,
+			labels:  []string{"P0:r2", "P0:r4"},
+		},
+		{
+			name: "observation of R0 is hardwired zero",
+			build: func(b *Builder) {
+				b.Li(R1, addr).Li(R2, 9).St(R2, R1, 0).
+					Ld(R0, R1, 0). // write to r0 is discarded
+					Observe(R0, "P0:r0").Halt()
+			},
+			want:    Outcome{N: 1, V: [MaxOutcome]uint64{0}},
+			wantMem: 9,
+			labels:  []string{"P0:r0"},
+		},
+		{
+			name: "delay chain links are architectural no-ops",
+			build: func(b *Builder) {
+				b.Li(R1, addr).DelayVia(R1, 700). // r1 must survive the chain
+									Ld(R2, R1, 0).Observe(R2, "P0:r2").Halt()
+			},
+			init:    map[uint64]uint64{addr: 13},
+			want:    Outcome{N: 1, V: [MaxOutcome]uint64{13}},
+			wantMem: 13,
+			labels:  []string{"P0:r2"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewBuilder(tc.name)
+			tc.build(b)
+			p := b.Build()
+			m := mem.New()
+			for a, v := range tc.init {
+				m.WriteWord(a, v)
+			}
+			in := NewInterp(m, p)
+			if _, err := in.Run(2000); err != nil {
+				t.Fatal(err)
+			}
+			progs := []*Program{p}
+			got := OutcomeOf(progs, in.Reg)
+			if got != tc.want {
+				t.Fatalf("outcome = %v, want %v", got, tc.want)
+			}
+			if v := m.ReadWord(addr); v != tc.wantMem {
+				t.Fatalf("final mem[%#x] = %d, want %d", uint64(addr), v, tc.wantMem)
+			}
+			names := ObsNames(progs)
+			if len(names) != len(tc.labels) {
+				t.Fatalf("ObsNames = %v, want %v", names, tc.labels)
+			}
+			for i, n := range names {
+				if n != tc.labels[i] {
+					t.Fatalf("ObsNames[%d] = %q, want %q", i, n, tc.labels[i])
+				}
+			}
+		})
+	}
+}
+
+// Multi-CPU observation: the outcome tuple is CPU-major in declaration
+// order, and a racing schedule picks exactly one of the allowed
+// interleavings — here the round-robin default makes the result
+// deterministic and hand-computable.
+func TestInterpOutcomeTupleOrder(t *testing.T) {
+	const x, y = 0x3000, 0x3040
+	b0 := NewBuilder("p0")
+	b0.Li(R1, x).Li(R2, 1).St(R2, R1, 0).Li(R3, y).Ld(R4, R3, 0).
+		Observe(R4, "P0:r4").Halt()
+	b1 := NewBuilder("p1")
+	b1.Li(R1, y).Li(R2, 1).St(R2, R1, 0).Li(R3, x).Ld(R4, R3, 0).
+		Observe(R4, "P1:r4").Halt()
+	progs := []*Program{b0.Build(), b1.Build()}
+	in := NewInterp(mem.New(), progs...)
+	if _, err := in.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	// Round-robin one-instruction-per-CPU: both stores execute before
+	// either load, so both CPUs observe the other's store.
+	want := Outcome{N: 2, V: [MaxOutcome]uint64{1, 1}}
+	if got := OutcomeOf(progs, in.Reg); got != want {
+		t.Fatalf("outcome = %v, want %v", got, want)
+	}
+	if s := want.String(); s != "(1,1)" {
+		t.Fatalf("Outcome.String = %q", s)
+	}
+}

@@ -276,11 +276,85 @@ func EffAddr(i Instr, ra uint64) uint64 {
 	return (ra + uint64(i.Imm)) &^ 7
 }
 
+// ObsReg names one architected register whose final committed value a
+// litmus harness reads into the run's outcome tuple. Observations are
+// declared by the program (Builder.Observe) so every consumer — the
+// timing simulator, the functional interpreter, and the memory-model
+// reference enumerator — assembles the tuple identically.
+type ObsReg struct {
+	Reg  uint8
+	Name string // display label, e.g. "P1:r2"
+}
+
+// MaxOutcome bounds the outcome tuple width: the widest classic litmus
+// shape (IRIW) observes four registers; headroom for richer shapes.
+const MaxOutcome = 6
+
+// Outcome is the tuple of observed final register values of one run,
+// in CPU-major, declaration order. It is comparable, so it can key
+// allowed/reachable outcome sets directly.
+type Outcome struct {
+	N int
+	V [MaxOutcome]uint64
+}
+
+// String renders the tuple compactly: "(1,0)".
+func (o Outcome) String() string {
+	s := "("
+	for i := 0; i < o.N; i++ {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("%d", o.V[i])
+	}
+	return s + ")"
+}
+
+// OutcomeOf assembles the outcome tuple of a program set from any
+// register source (the simulator's committed register files, the
+// interpreter's, or a model state): reg(cpu, r) returns CPU cpu's
+// architected register r. Panics if the programs declare more than
+// MaxOutcome observations.
+func OutcomeOf(progs []*Program, reg func(cpu, r int) uint64) Outcome {
+	var o Outcome
+	for cpu, p := range progs {
+		for _, ob := range p.Observed {
+			if o.N >= MaxOutcome {
+				panic(fmt.Sprintf("isa: more than %d observed registers", MaxOutcome))
+			}
+			o.V[o.N] = reg(cpu, int(ob.Reg))
+			o.N++
+		}
+	}
+	return o
+}
+
+// ObsNames returns the declared observation labels of a program set in
+// tuple order — the headings for Outcome values.
+func ObsNames(progs []*Program) []string {
+	var names []string
+	for cpu, p := range progs {
+		for _, ob := range p.Observed {
+			n := ob.Name
+			if n == "" {
+				n = fmt.Sprintf("P%d:r%d", cpu, ob.Reg)
+			}
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
 // Program is an assembled instruction sequence with a name for
 // reporting. PC 0 is the entry point.
 type Program struct {
 	Name string
 	Code []Instr
+
+	// Observed lists the registers whose final committed values form
+	// this program's contribution to a litmus outcome tuple (in
+	// declaration order; see OutcomeOf).
+	Observed []ObsReg
 }
 
 // At returns the instruction at pc. Running past the end behaves like

@@ -142,6 +142,16 @@ type Config struct {
 	// Figure 6 experiment to plug in finite L1-Mirror/stale-storage
 	// mechanisms.
 	StaleDetector func(node int) stale.Detector
+
+	// StartOffsets delays each core's first cycle of work: core i
+	// performs nothing before cycle StartOffsets[i] (missing or zero
+	// entries start at cycle 0, the historical behavior). Together
+	// with Bus.ArbStart (the initial round-robin arbitration pointer)
+	// this is the deterministic schedule-perturbation surface the
+	// litmus enumeration mode sweeps to reach different legal
+	// interleavings: every knob is plain configuration, so each
+	// perturbed run is exactly as reproducible as an unperturbed one.
+	StartOffsets []uint64
 }
 
 // DefaultMaxCycles bounds runaway workloads.
@@ -324,6 +334,9 @@ func New(cfg Config, w Workload) *System {
 			nc.Detector = cfg.StaleDetector(i)
 		}
 		c := cpu.New(coreCfg, i, w.Programs[i], nil, s.Counters)
+		if i < len(cfg.StartOffsets) {
+			c.SetStartCycle(cfg.StartOffsets[i])
+		}
 		c.SetTracer(cfg.Trace)
 		c.AttachMachine(&s.retired, &s.haltedCores)
 		ctrl := core.NewController(nc, s.Bus, c, s.Counters)
