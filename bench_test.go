@@ -285,6 +285,39 @@ func BenchmarkSimulatorThroughputTPCB(b *testing.B) {
 	b.ReportMetric(float64(skipped)/float64(cycles), "ff-skip-fraction")
 }
 
+// BenchmarkSimulatorThroughputSplitBus is the headline workload on the
+// split-transaction bus backend. benchjson records it as
+// ns_per_sim_cycle_splitbus; the delta against the atomic-bus headline
+// is the cost of the split address/data arbitration bookkeeping.
+func BenchmarkSimulatorThroughputSplitBus(b *testing.B) {
+	benchThroughputBackend(b, "splitbus")
+}
+
+// BenchmarkSimulatorThroughputDirectory is the headline workload on the
+// directory backend (ns_per_sim_cycle_directory): per-line sharer
+// bookkeeping and targeted probes instead of broadcast snooping.
+func BenchmarkSimulatorThroughputDirectory(b *testing.B) {
+	benchThroughputBackend(b, "directory")
+}
+
+func benchThroughputBackend(b *testing.B, kind string) {
+	w, err := workload.ByName("specjbb", workload.Params{CPUs: 4, Scale: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cycles, retired, skipped uint64
+	for i := 0; i < b.N; i++ {
+		cfg := sim.ExperimentConfig()
+		cfg.Interconnect = kind
+		r := sim.RunOne(cfg, w)
+		cycles, retired, skipped = r.Cycles, r.Retired, r.SkippedCycles
+	}
+	b.ReportMetric(float64(cycles), "sim-cycles")
+	b.ReportMetric(float64(retired), "sim-instrs")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(cycles), "ns/sim-cycle")
+	b.ReportMetric(float64(skipped)/float64(cycles), "ff-skip-fraction")
+}
+
 // BenchmarkSimulatorThroughputNoFF is the same machine and workload
 // with fast-forward disabled: the naive every-cycle loop. The ratio of
 // the two ns/sim-cycle numbers is the fast-forward speedup on an

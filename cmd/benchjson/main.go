@@ -71,6 +71,14 @@ type Record struct {
 	NsPerSimCycleTPCB float64 `json:"ns_per_sim_cycle_tpcb,omitempty"`
 	TPCBSkipFraction  float64 `json:"tpcb_skip_fraction,omitempty"`
 
+	// Per-backend twins of NsPerSimCycle: the same idle-heavy workload
+	// on the split-transaction bus and the directory fabric. Their
+	// deltas against the headline metric price the alternative
+	// backends' bookkeeping (outstanding-transaction window, sharer
+	// vectors + targeted probes).
+	NsPerSimCycleSplitBus  float64 `json:"ns_per_sim_cycle_splitbus,omitempty"`
+	NsPerSimCycleDirectory float64 `json:"ns_per_sim_cycle_directory,omitempty"`
+
 	// Runner-diagnosis ratios from the telemetry collector attached to
 	// BenchmarkFig7_Parallel. They explain the speedup number: a low
 	// WorkerBusyFraction means idle workers (serialization in the
@@ -145,6 +153,14 @@ func parseBench(lines []string) (Record, error) {
 				rec.NsPerSimCycleTPCB = ns
 			}
 			rec.TPCBSkipFraction = metrics["ff-skip-fraction"]
+		case "BenchmarkSimulatorThroughputSplitBus":
+			if ns := metrics["ns/sim-cycle"]; rec.NsPerSimCycleSplitBus == 0 || ns < rec.NsPerSimCycleSplitBus {
+				rec.NsPerSimCycleSplitBus = ns
+			}
+		case "BenchmarkSimulatorThroughputDirectory":
+			if ns := metrics["ns/sim-cycle"]; rec.NsPerSimCycleDirectory == 0 || ns < rec.NsPerSimCycleDirectory {
+				rec.NsPerSimCycleDirectory = ns
+			}
 		case "BenchmarkFig7_Parallel":
 			// The diagnosis ratios travel with the speedup they explain:
 			// when a repeat becomes the new best run, take its whole row.
@@ -194,6 +210,17 @@ func compare(base, cand Record, threshold float64) []string {
 		cand.NsPerSimCycleTPCB > base.NsPerSimCycleTPCB*(1+threshold) {
 		bad = append(bad, fmt.Sprintf("ns/sim-cycle-tpcb %.0f -> %.0f (limit %.0f)",
 			base.NsPerSimCycleTPCB, cand.NsPerSimCycleTPCB, base.NsPerSimCycleTPCB*(1+threshold)))
+	}
+	// The backend twins, guarded the same both-present way.
+	if base.NsPerSimCycleSplitBus > 0 && cand.NsPerSimCycleSplitBus > 0 &&
+		cand.NsPerSimCycleSplitBus > base.NsPerSimCycleSplitBus*(1+threshold) {
+		bad = append(bad, fmt.Sprintf("ns/sim-cycle-splitbus %.0f -> %.0f (limit %.0f)",
+			base.NsPerSimCycleSplitBus, cand.NsPerSimCycleSplitBus, base.NsPerSimCycleSplitBus*(1+threshold)))
+	}
+	if base.NsPerSimCycleDirectory > 0 && cand.NsPerSimCycleDirectory > 0 &&
+		cand.NsPerSimCycleDirectory > base.NsPerSimCycleDirectory*(1+threshold) {
+		bad = append(bad, fmt.Sprintf("ns/sim-cycle-directory %.0f -> %.0f (limit %.0f)",
+			base.NsPerSimCycleDirectory, cand.NsPerSimCycleDirectory, base.NsPerSimCycleDirectory*(1+threshold)))
 	}
 	if cand.AllocsPerSimCycle > base.AllocsPerSimCycle+0.01 {
 		bad = append(bad, fmt.Sprintf("allocs/sim-cycle %.4f -> %.4f",

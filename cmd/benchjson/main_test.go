@@ -141,6 +141,42 @@ func TestCompareTPCB(t *testing.T) {
 	}
 }
 
+// The per-backend twins aggregate best-of-N like the other wall
+// metrics and guard only when both records carry them.
+func TestParseAndCompareBackendMetrics(t *testing.T) {
+	rec, err := parseBench([]string{
+		"BenchmarkSimulatorThroughput 	 1	 200000000 ns/op	 0 B/sim-cycle	 0 allocs/sim-cycle	 1600 ns/sim-cycle	 145453 sim-cycles",
+		"BenchmarkSimulatorThroughputSplitBus 	 1	 210000000 ns/op	 1700 ns/sim-cycle	 145453 sim-cycles",
+		"BenchmarkSimulatorThroughputSplitBus 	 1	 205000000 ns/op	 1650 ns/sim-cycle	 145453 sim-cycles",
+		"BenchmarkSimulatorThroughputDirectory 	 1	 230000000 ns/op	 1900 ns/sim-cycle	 145453 sim-cycles",
+		"BenchmarkSimulatorThroughputDirectory 	 1	 240000000 ns/op	 2000 ns/sim-cycle	 145453 sim-cycles",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.NsPerSimCycleSplitBus != 1650 {
+		t.Errorf("ns_per_sim_cycle_splitbus = %v, want min 1650", rec.NsPerSimCycleSplitBus)
+	}
+	if rec.NsPerSimCycleDirectory != 1900 {
+		t.Errorf("ns_per_sim_cycle_directory = %v, want min 1900", rec.NsPerSimCycleDirectory)
+	}
+
+	base := Record{NsPerSimCycle: 3000, NsPerSimCycleSplitBus: 1650, NsPerSimCycleDirectory: 1900}
+	if bad := compare(base, Record{NsPerSimCycle: 3000, NsPerSimCycleSplitBus: 1700, NsPerSimCycleDirectory: 2000}, 0.30); len(bad) != 0 {
+		t.Errorf("in-threshold backends flagged: %v", bad)
+	}
+	if bad := compare(base, Record{NsPerSimCycle: 3000, NsPerSimCycleSplitBus: 3000, NsPerSimCycleDirectory: 4000}, 0.30); len(bad) != 2 {
+		t.Errorf("regressed backends flagged = %v, want both", bad)
+	}
+	if bad := compare(base, Record{NsPerSimCycle: 3000}, 0.30); len(bad) != 0 {
+		t.Errorf("metric-absent candidate flagged: %v", bad)
+	}
+	old := Record{NsPerSimCycle: 3000}
+	if bad := compare(old, Record{NsPerSimCycle: 3000, NsPerSimCycleSplitBus: 1650}, 0.30); len(bad) != 0 {
+		t.Errorf("pre-backend baseline flagged: %v", bad)
+	}
+}
+
 // gomaxprocs is stamped from the parsing host and must survive the
 // write/read round trip through a record file.
 func TestGoMaxProcsRoundTrip(t *testing.T) {

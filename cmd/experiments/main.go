@@ -8,7 +8,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"tssim/internal/bus"
 	"tssim/internal/experiments"
 	"tssim/internal/prof"
 	"tssim/internal/sim"
@@ -25,6 +27,7 @@ func main() {
 		slestats = flag.Bool("slestats", false, "SLE attempt/failure statistics (paper §4.2.3)")
 		ablation = flag.Bool("ablation", false, "validate-predictor tuning sweep (paper §2.4)")
 		misses   = flag.Bool("misses", false, "miss classification and false-sharing fractions (§5.3.2)")
+		scaling  = flag.Bool("scaling", false, "communication-miss elimination at 4/8/16 CPUs (use -interconnect directory for the interesting case)")
 		all      = flag.Bool("all", false, "run everything")
 		dump     = flag.String("dump", "", "dump all counters for one workload (use with -tech)")
 		report   = flag.String("report", "", "with -dump: also write a machine-readable JSON report here")
@@ -35,6 +38,7 @@ func main() {
 		jobs     = flag.Int("j", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		chk      = flag.Bool("check", false, "attach the coherence invariant checker to every run")
 		noFF     = flag.Bool("no-fastforward", false, "disable next-event fast-forward and tick every cycle (bit-identical; debugging escape hatch)")
+		icKind   = flag.String("interconnect", "", "coherence fabric: "+strings.Join(bus.Kinds(), "|")+" (default: atomic snoop bus)")
 
 		timing = flag.Bool("timing", false, "append a wall-clock/sim-cycles-per-second footer to each table")
 
@@ -74,8 +78,12 @@ func main() {
 		}
 	}()
 
+	if !bus.ValidKind(*icKind) {
+		fmt.Fprintf(os.Stderr, "unknown -interconnect %q (use %s)\n", *icKind, strings.Join(bus.Kinds(), "|"))
+		os.Exit(2)
+	}
 	p := experiments.Params{CPUs: *cpus, Scale: *scale, Seeds: *seeds, Jobs: *jobs, Check: *chk,
-		Telemetry: tel, Timing: *timing, NoFastForward: *noFF}
+		Interconnect: *icKind, Telemetry: tel, Timing: *timing, NoFastForward: *noFF}
 
 	ran := false
 	if *table1 || *all {
@@ -117,6 +125,15 @@ func main() {
 	if *misses || *all {
 		fmt.Println("== Miss classification (§5.3.2) ==")
 		fmt.Println(experiments.MissBreakdown(p))
+		ran = true
+	}
+	if *scaling || *all {
+		label := p.Interconnect
+		if label == "" {
+			label = "bus"
+		}
+		fmt.Printf("== Scaling: communication-miss elimination (%s backend) ==\n", label)
+		fmt.Println(experiments.Scaling(p, nil))
 		ran = true
 	}
 	if *dump != "" {

@@ -13,6 +13,7 @@ import (
 	"os"
 	"strings"
 
+	"tssim/internal/bus"
 	"tssim/internal/check"
 	"tssim/internal/checkrun"
 	"tssim/internal/prof"
@@ -55,7 +56,7 @@ func parseTech(s string) (sim.Techniques, error) {
 // vs allowed outcomes in both directions: an outcome outside the set
 // is a coherence bug (exit 1), an allowed-but-unreached outcome is
 // reported as a coverage gap.
-func litmusShapeMain(name string, enumerate bool, tech sim.Techniques, noFF bool) int {
+func litmusShapeMain(name string, enumerate bool, tech sim.Techniques, noFF bool, interconnect string) int {
 	s := check.ShapeByName(name)
 	if s == nil {
 		fmt.Fprintf(os.Stderr, "unknown shape %q; have: %s\n", name, strings.Join(check.ShapeNames(), " "))
@@ -63,11 +64,12 @@ func litmusShapeMain(name string, enumerate bool, tech sim.Techniques, noFF bool
 	}
 	if !enumerate {
 		v := check.Variant{
-			Offsets: make([]uint64, s.CPUs()),
-			Delays:  make([]int, s.CPUs()),
-			Combo:   tech.String(),
-			NoFF:    noFF,
-			Seed:    1,
+			Offsets:      make([]uint64, s.CPUs()),
+			Delays:       make([]int, s.CPUs()),
+			Combo:        tech.String(),
+			NoFF:         noFF,
+			Seed:         1,
+			Interconnect: interconnect,
 		}
 		oc, err := checkrun.RunShapeVariant(s, v)
 		if err != nil {
@@ -82,6 +84,9 @@ func litmusShapeMain(name string, enumerate bool, tech sim.Techniques, noFF bool
 		return 0
 	}
 	knobs := check.DefaultKnobs(checkrun.ComboLabels())
+	if interconnect != "" {
+		knobs.Interconnects = []string{interconnect}
+	}
 	if s.CPUs() > 2 {
 		// The per-CPU axes are exponential in CPU count; trim them so
 		// the 4-core IRIW shapes stay tractable.
@@ -149,6 +154,7 @@ func main() {
 		verbose   = flag.Bool("verbose", false, "dump all event counters and histograms")
 		checkFlag = flag.Bool("check", false, "attach the coherence invariant checker (and the in-order commit checker)")
 		noFF      = flag.Bool("no-fastforward", false, "disable next-event fast-forward and tick every cycle (bit-identical; debugging escape hatch)")
+		icKind    = flag.String("interconnect", "", "coherence fabric: "+strings.Join(bus.Kinds(), "|")+" (default: atomic snoop bus)")
 
 		litmusShape = flag.String("litmus-shape", "", "run one memory-model litmus shape instead of a workload: "+strings.Join(check.ShapeNames(), "|"))
 		enumerate   = flag.Bool("enumerate", false, "with -litmus-shape: exhaustively sweep the schedule-perturbation grid (all combos, both kernel paths) and compare reachable vs TSO-allowed outcomes")
@@ -198,8 +204,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if !bus.ValidKind(*icKind) {
+		fmt.Fprintf(os.Stderr, "unknown -interconnect %q (use %s)\n", *icKind, strings.Join(bus.Kinds(), "|"))
+		os.Exit(2)
+	}
 	if *litmusShape != "" {
-		os.Exit(litmusShapeMain(*litmusShape, *enumerate, tech, *noFF))
+		os.Exit(litmusShapeMain(*litmusShape, *enumerate, tech, *noFF, *icKind))
 	}
 	if *enumerate {
 		fmt.Fprintln(os.Stderr, "-enumerate requires -litmus-shape")
@@ -212,6 +222,7 @@ func main() {
 	}
 	cfg := sim.ExperimentConfig()
 	cfg.CPUs = *cpus
+	cfg.Interconnect = *icKind
 	cfg.Tech = tech
 	cfg.Check = *checkFlag
 	cfg.CheckCommits = *checkFlag

@@ -152,6 +152,18 @@ type Config struct {
 	// requests without touching any latency — and has no effect on an
 	// uncontended bus. Negative values are treated as 0.
 	ArbStart int
+
+	// MaxOutstanding bounds the in-flight transactions of the
+	// split-transaction bus (0 takes DefaultMaxOutstanding). The atomic
+	// bus and the directory ignore it.
+	MaxOutstanding int `json:",omitempty"`
+
+	// AckPerTarget is the directory backend's per-destination
+	// invalidation/validate acknowledgement latency: a multicast of n
+	// probes completes n*AckPerTarget cycles after its address phase
+	// (0 takes DefaultAckPerTarget). The snooping buses ignore it —
+	// their combined response is free at the grant instant.
+	AckPerTarget int `json:",omitempty"`
 }
 
 // DefaultConfig mirrors the paper's Table 1 interconnect: address
@@ -273,6 +285,13 @@ type Bus struct {
 	// instant the machine-wide state transition is complete. The
 	// coherence invariant checker (internal/check) hangs here.
 	onSerialized func(now uint64, t *Txn)
+
+	// err latches the first fabric-level protocol violation (e.g. two
+	// nodes supplying dirty data for one line). The run loop polls Err
+	// and fails the run with a post-mortem instead of the fabric
+	// panicking — a protocol bug in one backend must not kill a whole
+	// -j worker pool.
+	err error
 }
 
 // New builds a bus over the given backing memory. counters may be
@@ -498,7 +517,24 @@ func (b *Bus) nextRequest() *Txn {
 	return nil
 }
 
-func (b *Bus) grant(t *Txn, now uint64) {
+// failf latches the first fabric-level protocol violation; see Err.
+func (b *Bus) failf(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Err returns the first latched fabric-level protocol violation, nil
+// while the fabric is healthy. A latched error means the machine state
+// is no longer trustworthy; the run loop fails the run with a
+// post-mortem as soon as it observes one.
+func (b *Bus) Err() error { return b.err }
+
+// acceptGrant runs the requester's grant callback and the shared
+// accounting of a won arbitration: abort handling, counters, tracing,
+// and the address-network occupancy charge. It returns false when the
+// requester cancelled the transaction.
+func (b *Bus) acceptGrant(t *Txn, now uint64) bool {
 	if !b.ports[t.Src].GrantTxn(t) {
 		b.cntAborted[t.Type].Inc()
 		b.tr.Emit(trace.Event{Kind: trace.KBusAbort, Node: int32(t.Src), Addr: t.Addr, A: uint8(t.Type)})
@@ -506,7 +542,7 @@ func (b *Bus) grant(t *Txn, now uint64) {
 		// attempt but we do not charge bus occupancy for it: the
 		// controller kills it before the address phase.
 		b.recycle(t)
-		return
+		return false
 	}
 	b.cntTxn[t.Type].Inc()
 	b.hWait.Observe(now - t.reqAt)
@@ -515,49 +551,89 @@ func (b *Bus) grant(t *Txn, now uint64) {
 		b.TraceGrant(now, t)
 	}
 	b.addrFree = now + uint64(b.cfg.AddrOccupancy)
+	return true
+}
 
-	// Snoop phase: every other node observes the transaction in bus
-	// order and contributes its response.
+// probe snoops one node and folds its reply into the combined
+// response, returning the (at most one) supplying owner's line. Two
+// suppliers is the protocol violation the combined response cannot
+// express; it latches into Err and the first supplier wins so the
+// machine stays mechanically consistent until the run loop aborts.
+func (b *Bus) probe(id int, t *Txn, supplier *mem.Line) *mem.Line {
+	r := b.ports[id].SnoopTxn(t)
+	if r.Shared {
+		t.Shared = true
+	}
+	if r.Data != nil {
+		if supplier != nil {
+			b.failf("interconnect: two owners supplied %#x (%s from node %d)", t.Addr, t.Type, t.Src)
+			return supplier
+		}
+		supplier = r.Data
+		t.Owned = true
+	}
+	return supplier
+}
+
+// snoopCombine is the broadcast snoop phase: every node but the
+// requester observes the transaction in bus order and contributes its
+// response.
+func (b *Bus) snoopCombine(t *Txn) *mem.Line {
 	var supplier *mem.Line
-	for id, p := range b.ports {
+	for id := range b.ports {
 		if id == t.Src {
 			continue
 		}
-		r := p.SnoopTxn(t)
-		if r.Shared {
-			t.Shared = true
-		}
-		if r.Data != nil {
-			if supplier != nil {
-				panic(fmt.Sprintf("bus: two owners supplied %#x", t.Addr))
-			}
-			supplier = r.Data
-			t.Owned = true
-		}
+		supplier = b.probe(id, t, supplier)
 	}
+	return supplier
+}
 
+// scheduleData sources a Read/ReadX payload (owner cache or memory),
+// reserves a data-network slot at the grant instant, and stamps the
+// delivery cycle: the transfer waits for a free slot, then takes the
+// full latency.
+func (b *Bus) scheduleData(t *Txn, supplier *mem.Line, now uint64) {
+	t.HasData = true
+	b.busyInc(t.Addr)
+	var base uint64
+	if supplier != nil {
+		t.Data = *supplier
+		base = uint64(b.cfg.C2CLatency)
+		b.cntC2C.Inc()
+	} else {
+		t.Data = b.memory.ReadLine(t.Addr)
+		base = uint64(b.cfg.MemLatency)
+		b.cntMem.Inc()
+	}
+	start := now
+	if b.dataFree > start {
+		start = b.dataFree
+	}
+	b.dataFree = start + uint64(b.cfg.DataOccupancy)
+	t.doneAt = start + base + b.jitter()
+}
+
+// finishGrant commits a granted transaction: in-flight tracking, the
+// scheduler horizon callback, and the serialization observer.
+func (b *Bus) finishGrant(t *Txn, now uint64) {
+	b.inflight = append(b.inflight, t)
+	if s := b.scheds[t.Src]; s != nil {
+		s.TxnScheduled(t, t.doneAt)
+	}
+	if b.onSerialized != nil {
+		b.onSerialized(now, t)
+	}
+}
+
+func (b *Bus) grant(t *Txn, now uint64) {
+	if !b.acceptGrant(t, now) {
+		return
+	}
+	supplier := b.snoopCombine(t)
 	switch t.Type {
 	case TxnRead, TxnReadX:
-		t.HasData = true
-		b.busyInc(t.Addr)
-		var base uint64
-		if supplier != nil {
-			t.Data = *supplier
-			base = uint64(b.cfg.C2CLatency)
-			b.cntC2C.Inc()
-		} else {
-			t.Data = b.memory.ReadLine(t.Addr)
-			base = uint64(b.cfg.MemLatency)
-			b.cntMem.Inc()
-		}
-		// The data network is occupied per transfer; a transfer
-		// must wait for a free slot, then takes the full latency.
-		start := now
-		if b.dataFree > start {
-			start = b.dataFree
-		}
-		b.dataFree = start + uint64(b.cfg.DataOccupancy)
-		t.doneAt = start + base + b.jitter()
+		b.scheduleData(t, supplier, now)
 	case TxnWriteback:
 		b.memory.WriteLine(t.Addr, t.WData)
 		t.doneAt = now + uint64(b.cfg.AddrLatency)
@@ -566,13 +642,7 @@ func (b *Bus) grant(t *Txn, now uint64) {
 	default:
 		panic(fmt.Sprintf("bus: unknown txn type %d", t.Type))
 	}
-	b.inflight = append(b.inflight, t)
-	if s := b.scheds[t.Src]; s != nil {
-		s.TxnScheduled(t, t.doneAt)
-	}
-	if b.onSerialized != nil {
-		b.onSerialized(now, t)
-	}
+	b.finishGrant(t, now)
 }
 
 func (b *Bus) deliver(now uint64) {

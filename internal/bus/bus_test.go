@@ -1,6 +1,7 @@
 package bus
 
 import (
+	"strings"
 	"testing"
 
 	"tssim/internal/mem"
@@ -284,16 +285,24 @@ func TestDefaultConfigMatchesPaperTable1(t *testing.T) {
 	}
 }
 
-func TestTwoOwnersPanics(t *testing.T) {
+func TestTwoOwnersLatchesError(t *testing.T) {
 	b, ports, _, _ := testBus(3, fastCfg())
 	var l mem.Line
 	ports[1].snoopResp = SnoopReply{Data: &l}
 	ports[2].snoopResp = SnoopReply{Data: &l}
 	b.Request(&Txn{Type: TxnRead, Addr: 0x1000, Src: 0})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("two suppliers must panic (protocol invariant)")
-		}
-	}()
 	run(b, 0, 5)
+	err := b.Err()
+	if err == nil {
+		t.Fatal("two suppliers must latch a protocol-invariant error")
+	}
+	if !strings.Contains(err.Error(), "two owners") {
+		t.Fatalf("error %q does not name the two-owner violation", err)
+	}
+	// The latch holds the first violation; the fabric must not panic or
+	// overwrite it on later cycles.
+	run(b, 5, 10)
+	if b.Err() != err {
+		t.Fatalf("error latch overwritten: %v -> %v", err, b.Err())
+	}
 }

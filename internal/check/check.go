@@ -63,7 +63,7 @@ type pendingStore struct {
 // Checker holds the oracle state for one machine.
 type Checker struct {
 	cfg    Config
-	b      *bus.Bus
+	b      bus.Interconnect
 	memory *mem.Memory
 	nodes  []*core.Controller
 	cores  []*cpu.Core
@@ -104,9 +104,11 @@ type logEntry struct {
 }
 
 // Attach builds a checker and hooks it into an assembled machine: the
-// bus's OnSerialized hook, every controller's CheckSink, and every
-// core's OnCommitDebug hook. Call before the first cycle.
-func Attach(cfg Config, b *bus.Bus, memory *mem.Memory, nodes []*core.Controller, cores []*cpu.Core) *Checker {
+// interconnect's OnSerialized hook, every controller's CheckSink, and
+// every core's OnCommitDebug hook. Call before the first cycle. The
+// checker is backend-agnostic: it only needs the serialization stream
+// and line-custody queries, which every Interconnect provides.
+func Attach(cfg Config, b bus.Interconnect, memory *mem.Memory, nodes []*core.Controller, cores []*cpu.Core) *Checker {
 	if cfg.SweepEvery <= 0 {
 		cfg.SweepEvery = DefaultSweepEvery
 	}

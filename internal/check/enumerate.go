@@ -21,19 +21,21 @@ import (
 // per-CPU serialized delays spliced into the shape before its last
 // memory op (Shape.Programs), the initial bus arbitration pointer
 // (bus.Config.ArbStart), the technique combo, the kernel path
-// (fast-forward vs naive), and the machine jitter seed. This package
+// (fast-forward vs naive), the machine jitter seed, and the coherence
+// backend (atomic bus, split-transaction bus, directory). This package
 // cannot import sim (sim imports check for the coherence checker), so
 // the actual machine run is a callback; internal/checkrun provides
 // the standard adapter.
 
 // Variant is one point of the perturbation grid.
 type Variant struct {
-	Offsets  []uint64 // per-CPU start-cycle offsets
-	Delays   []int    // per-CPU delay before the CPU's last memory op
-	ArbStart int      // initial bus round-robin pointer
-	Combo    string   // technique combo label (sim.Techniques.String())
-	NoFF     bool     // true: naive every-cycle kernel; false: fast-forward
-	Seed     uint64   // machine jitter seed
+	Offsets      []uint64 // per-CPU start-cycle offsets
+	Delays       []int    // per-CPU delay before the CPU's last memory op
+	ArbStart     int      // initial bus round-robin pointer
+	Combo        string   // technique combo label (sim.Techniques.String())
+	NoFF         bool     // true: naive every-cycle kernel; false: fast-forward
+	Seed         uint64   // machine jitter seed
+	Interconnect string   // coherence fabric (bus.Kinds); "" = atomic snoop bus
 }
 
 func (v Variant) String() string {
@@ -41,8 +43,12 @@ func (v Variant) String() string {
 	if v.NoFF {
 		path = "noff"
 	}
-	return fmt.Sprintf("off=%v dly=%v arb=%d tech=%s path=%s seed=%d",
+	s := fmt.Sprintf("off=%v dly=%v arb=%d tech=%s path=%s seed=%d",
 		v.Offsets, v.Delays, v.ArbStart, v.Combo, path, v.Seed)
+	if v.Interconnect != "" {
+		s += " ic=" + v.Interconnect
+	}
+	return s
 }
 
 // Knobs spans the grid: per-CPU axes (Offsets, Delays) take every
@@ -55,6 +61,10 @@ type Knobs struct {
 	Combos    []string
 	BothPaths bool // run every point on both kernel paths
 	Seeds     []uint64
+	// Interconnects lists the coherence backends to sweep (bus.Kinds
+	// values). Empty means just the atomic snoop bus — the historical
+	// grid, so existing callers and corpus replays are unchanged.
+	Interconnects []string
 }
 
 // DefaultKnobs is the grid the acceptance tests and the CI
@@ -164,30 +174,37 @@ func Enumerate(s *Shape, k Knobs, run RunFunc) *EnumReport {
 	if len(seeds) == 0 {
 		seeds = []uint64{1}
 	}
+	ics := k.Interconnects
+	if len(ics) == 0 {
+		ics = []string{""}
+	}
 	for _, offs := range tuples(k.Offsets, s.CPUs(), []uint64{0}) {
 		for _, dls := range tuples(k.Delays, s.CPUs(), []int{0}) {
 			for _, arb := range arbs {
 				for _, combo := range k.Combos {
 					for _, noFF := range paths {
 						for _, seed := range seeds {
-							v := Variant{
-								Offsets: offs, Delays: dls, ArbStart: arb,
-								Combo: combo, NoFF: noFF, Seed: seed,
+							for _, ic := range ics {
+								v := Variant{
+									Offsets: offs, Delays: dls, ArbStart: arb,
+									Combo: combo, NoFF: noFF, Seed: seed,
+									Interconnect: ic,
+								}
+								rep.Runs++
+								oc, err := run(s, v)
+								if err != nil {
+									rep.Violations = append(rep.Violations, Violation{Variant: v, Err: err})
+									continue
+								}
+								if !allowed[oc] {
+									rep.Violations = append(rep.Violations, Violation{Variant: v, Outcome: oc})
+									continue
+								}
+								if rep.Reached[oc] == 0 {
+									rep.FirstSeen[oc] = v
+								}
+								rep.Reached[oc]++
 							}
-							rep.Runs++
-							oc, err := run(s, v)
-							if err != nil {
-								rep.Violations = append(rep.Violations, Violation{Variant: v, Err: err})
-								continue
-							}
-							if !allowed[oc] {
-								rep.Violations = append(rep.Violations, Violation{Variant: v, Outcome: oc})
-								continue
-							}
-							if rep.Reached[oc] == 0 {
-								rep.FirstSeen[oc] = v
-							}
-							rep.Reached[oc]++
 						}
 					}
 				}

@@ -19,10 +19,11 @@ import (
 	"tssim/internal/workload"
 )
 
-// Litmus memory layout. Locks get a line each; counters, cells, and
-// per-CPU slots each share one line so every flavor of false sharing is
+// Litmus memory layout. Locks get a line each; counters and cells
+// each share one line, and per-CPU slots pack eight to a line (one
+// line at ≤8 CPUs, two at 16), so every flavor of false sharing is
 // exercised. Cell j is protected by lock j%litmusLocks; slots are
-// private to their CPU (word i of the slot line belongs to CPU i).
+// private to their CPU (word i%8 of slot line i/8 belongs to CPU i).
 const (
 	litmusLockBase = 0x1000 // + j*0x40, one line per lock
 	litmusCtrBase  = 0x4000 // + j*8, all counters in one line
@@ -39,16 +40,22 @@ const (
 // the fuzzer names a valid program.
 type LitmusParams struct {
 	Seed uint64
-	CPUs int // clamped to [2, 4]
+	CPUs int // clamped to [2, 16]
 	Ops  int // operations per CPU, clamped to [1, 48]
 }
+
+// litmusMaxCPUs bounds generated programs. 16 keeps the slot line
+// layout honest (the private-slot region is two lines at 16 CPUs) and
+// covers every machine size the experiments sweep uses below the
+// directory's 64-node ceiling.
+const litmusMaxCPUs = 16
 
 func (p LitmusParams) normalized() LitmusParams {
 	if p.CPUs < 2 {
 		p.CPUs = 2
 	}
-	if p.CPUs > 4 {
-		p.CPUs = 4
+	if p.CPUs > litmusMaxCPUs {
+		p.CPUs = litmusMaxCPUs
 	}
 	if p.Ops < 1 {
 		p.Ops = 1

@@ -87,6 +87,7 @@ func RunShapeVariant(s *check.Shape, v check.Variant) (isa.Outcome, error) {
 	cfg.StartOffsets = v.Offsets
 	cfg.Bus.ArbStart = v.ArbStart
 	cfg.NoFastForward = v.NoFF
+	cfg.Interconnect = v.Interconnect
 	sys := sim.New(cfg, w)
 	if _, err := sys.RunErr(w); err != nil {
 		return isa.Outcome{}, fmt.Errorf("run: %w", err)

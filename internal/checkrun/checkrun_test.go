@@ -1,8 +1,11 @@
 package checkrun
 
 import (
+	"fmt"
+	"sort"
 	"testing"
 
+	"tssim/internal/bus"
 	"tssim/internal/check"
 )
 
@@ -84,6 +87,104 @@ func TestEnumerateReachesAllAllowed(t *testing.T) {
 			}
 			reached, allowed := rep.Coverage()
 			t.Logf("%s: %d runs, %d/%d outcomes reached", name, rep.Runs, reached, allowed)
+		})
+	}
+}
+
+// TestShapesAllBackendsAllCombos extends the acceptance sweep across
+// the coherence backends: every shape under every technique combo on
+// both kernel paths must stay inside the allowed set on the
+// split-transaction bus and the directory exactly as on the atomic
+// bus (which the test above covers as Interconnect == ""). The
+// perturbed variant rotates arbitration and staggers starts so the
+// backends' different grant/ack timing actually reorders things.
+func TestShapesAllBackendsAllCombos(t *testing.T) {
+	combos := ComboLabels()
+	if testing.Short() {
+		combos = []string{"Baseline", "MESTI", "E-MESTI+LVP+SLE"}
+	}
+	for _, s := range check.Shapes() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			allowed := s.Allowed()
+			perturbedOff := make([]uint64, s.CPUs())
+			perturbedDly := make([]int, s.CPUs())
+			for i := range perturbedOff {
+				perturbedOff[i] = uint64(320 * i % 760)
+			}
+			perturbedDly[0] = 500
+			for _, ic := range bus.Kinds() {
+				for _, combo := range combos {
+					for _, noFF := range []bool{false, true} {
+						variants := []check.Variant{
+							{Offsets: make([]uint64, s.CPUs()), Delays: make([]int, s.CPUs()),
+								Combo: combo, NoFF: noFF, Seed: 1, Interconnect: ic},
+							{Offsets: perturbedOff, Delays: perturbedDly, ArbStart: 1,
+								Combo: combo, NoFF: noFF, Seed: 1, Interconnect: ic},
+						}
+						for _, v := range variants {
+							oc, err := RunShapeVariant(s, v)
+							if err != nil {
+								t.Fatalf("%s: %v", v, err)
+							}
+							if !allowed[oc] {
+								t.Errorf("%s: outcome %s outside allowed set %v",
+									v, oc, s.AllowedList())
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEnumerateBackendsDifferential is the differential oracle across
+// coherence fabrics: the 2-core anchor shapes, enumerated over the
+// default grid once per backend, must reach exactly the same outcome
+// set on all three — the full TSO-allowed set, with zero violations.
+// A backend-specific gap means its timing model lost the power to
+// exhibit a legal reordering; a backend-specific extra outcome is a
+// coherence bug in that fabric.
+func TestEnumerateBackendsDifferential(t *testing.T) {
+	combos := ComboLabels()
+	if testing.Short() {
+		combos = []string{"Baseline", "E-MESTI+LVP+SLE"}
+	}
+	for _, name := range []string{"SB", "MP"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			reachedBy := map[string]string{}
+			for _, ic := range bus.Kinds() {
+				knobs := check.DefaultKnobs(combos)
+				knobs.Interconnects = []string{ic}
+				rep, err := EnumerateShape(name, knobs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !rep.OK() {
+					t.Fatalf("%s violations:\n%s", ic, rep)
+				}
+				if len(rep.Gaps) != 0 {
+					t.Errorf("%s coverage gaps:\n%s", ic, rep)
+				}
+				var ocs []string
+				for oc := range rep.Reached {
+					ocs = append(ocs, oc.String())
+				}
+				sort.Strings(ocs)
+				reachedBy[ic] = fmt.Sprint(ocs)
+				reached, allowed := rep.Coverage()
+				t.Logf("%s on %s: %d runs, %d/%d outcomes reached", name, ic, rep.Runs, reached, allowed)
+			}
+			ref := reachedBy[bus.Kinds()[0]]
+			for ic, got := range reachedBy {
+				if got != ref {
+					t.Errorf("backend %s reached %s; %s reached %s", ic, got, bus.Kinds()[0], ref)
+				}
+			}
 		})
 	}
 }

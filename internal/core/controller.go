@@ -114,7 +114,7 @@ func resolveCtrlCounters(cs *stats.Counters) ctrlCounters {
 type Controller struct {
 	cfg    Config
 	id     int
-	bus    *bus.Bus
+	bus    bus.Interconnect
 	client Client
 	cnt    ctrlCounters
 	tr     *trace.Tracer
@@ -177,9 +177,9 @@ type Controller struct {
 	stateVer uint64
 }
 
-// NewController builds a controller, attaches it to the bus, and
-// returns it. All controllers in a system share counters.
-func NewController(cfg Config, b *bus.Bus, client Client, counters *stats.Counters) *Controller {
+// NewController builds a controller, attaches it to the interconnect,
+// and returns it. All controllers in a system share counters.
+func NewController(cfg Config, b bus.Interconnect, client Client, counters *stats.Counters) *Controller {
 	if cfg.EMESTI && !cfg.MESTI {
 		panic("core: EMESTI requires MESTI")
 	}

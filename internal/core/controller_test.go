@@ -36,11 +36,11 @@ func (c *testClient) SquashSpec(seqs []uint64)        { c.squashes = append(c.sq
 func (c *testClient) SCDone(seq uint64, success bool) { c.scResults[seq] = success }
 func (c *testClient) ExternalSnoop(uint64, bool)      { c.snoops++ }
 
-// harness wires N controllers to a bus over one memory.
+// harness wires N controllers to an interconnect over one memory.
 type harness struct {
 	t       *testing.T
 	mem     *mem.Memory
-	bus     *bus.Bus
+	bus     bus.Interconnect
 	ctrs    *stats.Counters
 	nodes   []*Controller
 	clients []*testClient
@@ -64,8 +64,17 @@ func smallNodeCfg() Config {
 }
 
 func newHarness(t *testing.T, n int, mut func(i int, c *Config)) *harness {
+	return newHarnessIC(t, n, "", mut)
+}
+
+// newHarnessIC is newHarness on a chosen interconnect backend.
+func newHarnessIC(t *testing.T, n int, kind string, mut func(i int, c *Config)) *harness {
 	h := &harness{t: t, mem: mem.New(), ctrs: stats.NewCounters()}
-	h.bus = bus.New(fastBusCfg(), h.mem, h.ctrs, nil)
+	ic, err := bus.NewInterconnect(kind, fastBusCfg(), h.mem, h.ctrs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.bus = ic
 	for i := 0; i < n; i++ {
 		cfg := smallNodeCfg()
 		if mut != nil {

@@ -40,6 +40,10 @@ type Params struct {
 	Scale int // workload iteration multiplier
 	Seeds int // runs per configuration for confidence intervals
 	Jobs  int // concurrent simulations (0 = GOMAXPROCS)
+	// Interconnect selects the coherence fabric for every run of the
+	// sweep: "" or bus.KindBus (atomic snoop bus), bus.KindSplitBus,
+	// or bus.KindDirectory.
+	Interconnect string
 	// Check attaches the coherence invariant checker (internal/check)
 	// to every run of the sweep; a violation surfaces as that cell's
 	// failure. Identical results, measurable slowdown.
@@ -80,6 +84,7 @@ func (p Params) workloadParams() workload.Params {
 func (p Params) config(tech sim.Techniques) sim.Config {
 	cfg := sim.ExperimentConfig()
 	cfg.CPUs = p.CPUs
+	cfg.Interconnect = p.Interconnect
 	cfg.Tech = tech
 	cfg.Check = p.Check
 	cfg.NoFastForward = p.NoFastForward
@@ -370,6 +375,68 @@ func Fig8(p Params) string {
 			t.Row(w.Name, tech.String(), fmt.Sprint(rd), fmt.Sprint(rx),
 				fmt.Sprint(up), fmt.Sprint(va), stats.F(norm))
 		}
+	}
+	return t.String() + failNotes(results) + timing
+}
+
+// Scaling reports communication-miss elimination beyond the paper's
+// 4-CPU machine: for each CPU count, every workload runs under the
+// baseline, MESTI, and E-MESTI on p.Interconnect (the directory
+// backend is the interesting one — broadcast snooping is what the
+// paper assumes away at scale), and the table shows how much of the
+// baseline's communication-miss traffic each technique eliminates.
+func Scaling(p Params, cpuCounts []int) string {
+	p = p.withDefaults()
+	if len(cpuCounts) == 0 {
+		cpuCounts = []int{4, 8, 16}
+	}
+	techs := []sim.Techniques{
+		{},
+		{MESTI: true},
+		{MESTI: true, EMESTI: true},
+	}
+	var jobs []sim.Job
+	var meta []struct {
+		cpus int
+		wi   int
+		ti   int
+	}
+	for _, n := range cpuCounts {
+		pn := p
+		pn.CPUs = n
+		ws := workload.All(pn.workloadParams())
+		for wi := range ws {
+			for ti, tech := range techs {
+				jobs = append(jobs, sim.Job{Cfg: pn.config(tech), W: ws[wi]})
+				meta = append(meta, struct {
+					cpus int
+					wi   int
+					ti   int
+				}{n, wi, ti})
+			}
+		}
+	}
+	results, timing := p.run(jobs)
+	names := workload.Names()
+	t := stats.NewTable("CPUs", "Program", "Base comm", "MESTI comm", "elim", "E-MESTI comm", "elim")
+	for i := 0; i < len(results); i += len(techs) {
+		b, m, e := results[i], results[i+1], results[i+2]
+		label := names[meta[i].wi]
+		if b.Err != nil || m.Err != nil || e.Err != nil {
+			t.Row(fmt.Sprint(meta[i].cpus), label, errCell)
+			continue
+		}
+		base := b.Counters["miss/comm"]
+		elim := func(r sim.Result) string {
+			if base == 0 {
+				return "n/a"
+			}
+			return stats.Pct(1 - float64(r.Counters["miss/comm"])/float64(base))
+		}
+		t.Row(fmt.Sprint(meta[i].cpus), label,
+			fmt.Sprint(base),
+			fmt.Sprint(m.Counters["miss/comm"]), elim(m),
+			fmt.Sprint(e.Counters["miss/comm"]), elim(e))
 	}
 	return t.String() + failNotes(results) + timing
 }

@@ -21,6 +21,7 @@ const ReportSchema = "tssim-report/v1"
 // writers, tracers).
 type ReportConfig struct {
 	CPUs             int          `json:"cpus"`
+	Interconnect     string       `json:"interconnect,omitempty"` // "" = atomic snoop bus
 	Seed             int64        `json:"seed"`
 	MaxCycles        uint64       `json:"max_cycles"`
 	NoProgressCycles uint64       `json:"no_progress_cycles"`
@@ -60,6 +61,7 @@ func NewReport(cfg Config, r Result) Report {
 		Tech:     r.Tech.String(),
 		Config: ReportConfig{
 			CPUs:             cfg.CPUs,
+			Interconnect:     cfg.Interconnect,
 			Seed:             cfg.Seed,
 			MaxCycles:        cfg.MaxCycles,
 			NoProgressCycles: cfg.NoProgressCycles,

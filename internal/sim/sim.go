@@ -89,6 +89,13 @@ type Config struct {
 	Bus  bus.Config
 	Tech Techniques
 
+	// Interconnect selects the coherence fabric backend: "" or "bus"
+	// (atomic snoop bus, the historical machine), "splitbus"
+	// (split-transaction bus with bounded outstanding transactions), or
+	// "directory" (sharer-vector directory at the memory side). See
+	// bus.Kinds.
+	Interconnect string
+
 	// Seed drives the latency jitter used by the multi-run
 	// confidence-interval methodology; JitterMax in Bus must be >0
 	// for runs to differ.
@@ -267,7 +274,7 @@ func (r Result) IPC() float64 {
 type System struct {
 	cfg      Config
 	Mem      *mem.Memory
-	Bus      *bus.Bus
+	Bus      bus.Interconnect
 	Counters *stats.Counters
 	Nodes    []*core.Controller
 	Cores    []*cpu.Core
@@ -314,7 +321,11 @@ func New(cfg Config, w Workload) *System {
 	if cfg.Bus.JitterMax > 0 {
 		rng = rand.New(rand.NewSource(cfg.Seed))
 	}
-	s.Bus = bus.New(cfg.Bus, s.Mem, s.Counters, rng)
+	ic, err := bus.NewInterconnect(cfg.Interconnect, cfg.Bus, s.Mem, s.Counters, rng)
+	if err != nil {
+		panic("sim: " + err.Error()) // recovered into a RunError by RunOneErr
+	}
+	s.Bus = ic
 	s.Bus.SetTracer(cfg.Trace)
 
 	nodeCfg := cfg.Node
@@ -500,6 +511,13 @@ func (s *System) runErr(w Workload, ph *telemetry.JobPhases) (Result, error) {
 				runErr = s.failWithPostMortem(w, err.Error())
 				break
 			}
+		}
+		if err := s.Bus.Err(); err != nil {
+			// A latched fabric protocol violation (e.g. two owners in a
+			// combined response): the machine state is untrustworthy, so
+			// fail the run with a post-mortem instead of simulating on.
+			runErr = s.failWithPostMortem(w, err.Error())
+			break
 		}
 		if s.haltedCores == nCores && s.Bus.Idle() && s.storeBuffersEmpty() {
 			break

@@ -211,6 +211,37 @@ func TestRunSampleProducesSpread(t *testing.T) {
 	}
 }
 
+// TestEightCPUsCheckedAllBackendsAllCombos is the 8-core acceptance
+// sweep: the contended lock workload under every technique combo on
+// every coherence backend, with the SWMR/data-value coherence oracle
+// and the in-order commit checker attached, plus the exact functional
+// validator. This is where backend bugs that need more than 4 caches
+// (sharer-vector bookkeeping, probe fan-out, wide snoop combining)
+// die before the slower CI workload runs see them.
+func TestEightCPUsCheckedAllBackendsAllCombos(t *testing.T) {
+	combos := AllCombos()
+	if testing.Short() {
+		combos = []Techniques{{}, {MESTI: true}, {MESTI: true, EMESTI: true, LVP: true, SLE: true}}
+	}
+	for _, ic := range bus.Kinds() {
+		ic := ic
+		t.Run(ic, func(t *testing.T) {
+			t.Parallel()
+			for _, tech := range combos {
+				w := lockCounterWorkload(8, 15, 50, false)
+				cfg := fastCfg(tech)
+				cfg.CPUs = 8
+				cfg.Interconnect = ic
+				cfg.Check = true
+				res := RunOne(cfg, w) // Validate panics on corruption
+				if !res.Finished {
+					t.Fatalf("%s on %s did not finish in %d cycles", tech, ic, res.Cycles)
+				}
+			}
+		})
+	}
+}
+
 func TestTechniquesString(t *testing.T) {
 	if (Techniques{}).String() != "Baseline" {
 		t.Fatal("baseline label")

@@ -350,6 +350,21 @@ func TPCH(p Params) Workload {
 	)
 	phases := int64(3 * p.Scale)
 	chunk := int64(tableLines) / int64(p.CPUs)
+	// Each accumulator group holds one word per CPU. At ≤8 CPUs a group
+	// is exactly one line (stride 64, the paper's layout); beyond that
+	// the stride widens to the next power of two so CPU c's word never
+	// spills into group k+1 and aliases another CPU's accumulator —
+	// with the old flat k*64+cpu*8 layout, CPUs ≥ 9 did unsynchronized
+	// read-modify-writes on each other's words and lost updates.
+	accShift := uint(6)
+	for (1 << (accShift - 3)) < p.CPUs {
+		accShift++
+	}
+	// accLines groups at the widest stride must stay below the barrier
+	// region at 0x15000.
+	if accBase+accLines<<accShift > barCount {
+		panic("tpch: accumulator region overlaps barrier")
+	}
 	progs := make([]*isa.Program, p.CPUs)
 	for cpu := 0; cpu < p.CPUs; cpu++ {
 		b := isa.NewBuilder(fmt.Sprintf("tpch-cpu%d", cpu))
@@ -383,10 +398,10 @@ func TPCH(p Params) Workload {
 		b.Mark(skipLatch)
 		b.Ld(rV0, rA0, 0)
 		b.Add(rSum, rSum, rV0)
-		// acc line = scanned-line index % accLines; my word = cpu*8.
+		// acc group = scanned-line index % accLines; my word = cpu*8.
 		b.Li(rT3, accLines-1)
 		b.And(rT3, rInner, rT3)
-		b.Shli(rT3, rT3, 6)
+		b.Shli(rT3, rT3, int64(accShift))
 		b.Li(rA1, accBase+int64(cpu)*8)
 		b.Add(rA1, rA1, rT3)
 		b.Ld(rV1, rA1, 0)
@@ -422,7 +437,7 @@ func TPCH(p Params) Workload {
 			var got uint64
 			for k := uint64(0); k < accLines; k++ {
 				for c := 0; c < p.CPUs; c++ {
-					got += read(accBase + k*64 + uint64(c)*8)
+					got += read(accBase + k<<accShift + uint64(c)*8)
 				}
 			}
 			if got != want {

@@ -60,6 +60,30 @@ func TestWorkloadsFunctionalAdversarialSchedule(t *testing.T) {
 	}
 }
 
+func TestAllWorkloadsFunctionalEightCPUs(t *testing.T) {
+	// CPU-count flexibility upward: nothing in the generators may
+	// assume the historical 4-CPU machine.
+	for _, w := range All(Params{CPUs: 8, Scale: 1}) {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			if len(w.Programs) != 8 {
+				t.Fatalf("%d programs", len(w.Programs))
+			}
+			runFunctional(t, w, 60_000_000)
+		})
+	}
+}
+
+func TestTPCHAccumulatorsSixteenCPUs(t *testing.T) {
+	// Regression for the hardwired accumulator stride: the old layout
+	// packed per-CPU accumulator slots 8 words apart inside a 64-byte
+	// line region, so at >8 CPUs slot (cpu, k) aliased slot (cpu-8,
+	// k+1) — lost updates plus validator double-counting made every
+	// functional run at >=9 CPUs fail deterministically. The stride now
+	// widens with the CPU count.
+	runFunctional(t, TPCH(Params{CPUs: 16, Scale: 1}), 120_000_000)
+}
+
 func TestWorkloadsTwoCPUs(t *testing.T) {
 	// CPU-count flexibility: the kernels must work at 2 CPUs too.
 	for _, w := range All(Params{CPUs: 2, Scale: 1}) {

@@ -72,7 +72,7 @@ fi
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
-go test -run '^$' -bench '^BenchmarkSimulatorThroughput(NoFF|TPCB)?$' \
+go test -run '^$' -bench '^BenchmarkSimulatorThroughput(NoFF|TPCB|SplitBus|Directory)?$' \
     -benchtime "$BENCHTIME" -count 5 . | tee "$raw"
 if [ "$SHORT" = 0 ]; then
     go test -run '^$' -bench '^BenchmarkFig7_Parallel$' \
